@@ -1,0 +1,61 @@
+"""Ablation: fetch-and-add hotspot serialization in the machine model.
+
+The paper singles out "serialization around a single atomic fetch-and-
+add" as the BSP runtime's scalability hazard (§VII).  This ablation
+prices the same BSP traces on an XMT whose atomic service time is zeroed
+(an idealized combining network) to isolate the hotspot contribution,
+and shows the effect concentrates where the paper says it does: in the
+message-heavy BSP supersteps, not in the shared-memory kernels.
+"""
+
+from conftest import once
+
+from repro.analysis.report import format_seconds
+from repro.bsp_algorithms import bsp_breadth_first_search
+from repro.graphct import breadth_first_search
+from repro.xmt.cost_model import simulate
+from repro.xmt.machine import XMTMachine
+
+
+def bench_hotspot_ablation(benchmark, workload, capsys):
+    graph, source = workload.graph, workload.bfs_source
+
+    def run():
+        return (
+            bsp_breadth_first_search(graph, source).trace,
+            breadth_first_search(graph, source).trace,
+        )
+
+    bsp_trace, shm_trace = once(benchmark, run)
+
+    real = XMTMachine(num_processors=128)
+    ideal = XMTMachine(num_processors=128, atomic_service_cycles=0.0)
+
+    rows = {}
+    for name, trace in (("bsp", bsp_trace), ("graphct", shm_trace)):
+        with_hotspot = simulate(trace, real).total_seconds
+        without = simulate(trace, ideal).total_seconds
+        rows[name] = {
+            "with": with_hotspot,
+            "without": without,
+            "penalty": with_hotspot / without,
+        }
+
+    # Hotspots must cost the BSP runtime relatively more than GraphCT's
+    # chunked queue reservations.
+    assert rows["bsp"]["penalty"] >= rows["graphct"]["penalty"] - 1e-9
+    assert rows["graphct"]["penalty"] < 1.2
+
+    benchmark.extra_info.update(
+        {k: {kk: round(vv, 4) for kk, vv in v.items()}
+         for k, v in rows.items()}
+    )
+    with capsys.disabled():
+        print()
+        for name, row in rows.items():
+            print(
+                f"hotspot ablation [{name}]: "
+                f"{format_seconds(row['with'])} with serialization vs "
+                f"{format_seconds(row['without'])} idealized "
+                f"({row['penalty']:.2f}x)"
+            )

@@ -1,0 +1,72 @@
+"""Ablation: hash vs degree-balanced vertex partitioning on a cluster.
+
+Paper §II argues that Pregel's uniform vertex hashing leaves scale-free
+edge (and therefore message) load uneven across machines.  This ablation
+measures the imbalance on the benchmark RMAT graph, feeds it into the
+cluster cost model, and quantifies how much of the distributed runtime a
+degree-aware placement would recover.
+"""
+
+from conftest import once
+
+from repro.bsp_algorithms import bsp_connected_components
+from repro.cluster import (
+    ClusterMachine,
+    balanced_edge_partition,
+    hash_partition,
+    partition_stats,
+    simulate_cluster_bsp,
+)
+
+
+def bench_partitioning_ablation(benchmark, workload, capsys):
+    graph = workload.graph
+    machines = 32
+
+    def run():
+        hashed = partition_stats(graph, hash_partition(graph, machines))
+        balanced = partition_stats(
+            graph, balanced_edge_partition(graph, machines)
+        )
+        cc = bsp_connected_components(graph)
+        return hashed, balanced, cc
+
+    hashed, balanced, cc = once(benchmark, run)
+
+    assert hashed.edge_imbalance > balanced.edge_imbalance
+    assert balanced.edge_imbalance < 1.1
+
+    # Price at paper-scale message volume so network time (where the
+    # imbalance bites) dominates the per-superstep barrier.
+    factor = 1024.0
+    scaled_trace = cc.trace.scaled(factor)
+    scaled_msgs = [int(m * factor) for m in cc.messages_per_superstep]
+    times = {}
+    for name, stats in (("hash", hashed), ("balanced", balanced)):
+        cluster = ClusterMachine(
+            num_machines=machines,
+            imbalance=max(stats.edge_imbalance, 1.0),
+        )
+        times[name] = simulate_cluster_bsp(
+            scaled_trace, cluster, messages_per_superstep=scaled_msgs
+        ).total_seconds
+    assert times["balanced"] < times["hash"]
+    assert times["hash"] / times["balanced"] > 1.2
+
+    benchmark.extra_info.update(
+        machines=machines,
+        edge_imbalance={
+            "hash": round(hashed.edge_imbalance, 2),
+            "balanced": round(balanced.edge_imbalance, 3),
+        },
+        cut_fraction=round(hashed.cut_fraction, 3),
+        cluster_seconds={k: round(v, 4) for k, v in times.items()},
+    )
+    with capsys.disabled():
+        print(
+            f"\npartitioning ablation ({machines} machines): hash edge "
+            f"imbalance {hashed.edge_imbalance:.2f}x -> CC "
+            f"{times['hash'] * 1e3:.1f} ms | degree-balanced "
+            f"{balanced.edge_imbalance:.2f}x -> "
+            f"{times['balanced'] * 1e3:.1f} ms"
+        )

@@ -1,0 +1,53 @@
+"""Ablation: BSP/GraphCT ratio stability across RMAT scales.
+
+DESIGN.md's extrapolation argument rests on RMAT self-similarity: the
+BSP-to-GraphCT ratios should vary smoothly (not wildly) with scale.
+This sweep runs Table I at scales 10-13 and records the ratio per
+algorithm, also exposing the known scale trends (the CC superstep count
+grows with eccentricity; the triangle write blow-up grows with the
+wedge/triangle ratio).
+"""
+
+from conftest import once
+
+from repro.analysis.experiments import run_fig4, run_table1
+from repro.analysis.workload import ExperimentConfig
+
+
+def bench_scale_sweep(benchmark, capsys):
+    scales = [10, 11, 12, 13]
+
+    def run():
+        rows = {}
+        for scale in scales:
+            cfg = ExperimentConfig(scale=scale, edge_factor=16, seed=1)
+            t1 = run_table1(cfg)
+            f4 = run_fig4(cfg)
+            rows[scale] = {
+                "ratios": {
+                    name: round(row["ratio"], 2)
+                    for name, row in t1.rows.items()
+                },
+                "write_ratio": round(f4.write_ratio, 1),
+            }
+        return rows
+
+    rows = once(benchmark, run)
+
+    for scale, data in rows.items():
+        for name, ratio in data["ratios"].items():
+            assert ratio > 1.0, f"scale {scale}, {name}: GraphCT must win"
+
+    # The triangle write blow-up must grow with scale (toward the
+    # paper's 181x at scale 24).
+    write_ratios = [rows[s]["write_ratio"] for s in scales]
+    assert write_ratios[-1] > write_ratios[0]
+
+    benchmark.extra_info["sweep"] = rows
+    with capsys.disabled():
+        print()
+        for scale, data in rows.items():
+            print(
+                f"scale {scale}: ratios {data['ratios']} "
+                f"write_ratio {data['write_ratio']}x"
+            )

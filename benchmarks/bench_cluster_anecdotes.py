@@ -1,0 +1,47 @@
+"""Distributed-BSP anecdotes (paper §III-§IV narrative comparisons).
+
+Paper reference:
+
+* Giraph connected components on a Wikipedia graph (6M vertices, 200M
+  edges): ~4 s on a 6-node cluster, 12 supersteps;
+* Giraph SSSP on Twitter (43.7M / 688M): ~30 s on 60 machines, flat
+  scaling from 30 to 85 machines (Kajdanowicz et al.);
+* Trinity BFS on RMAT 512M / 6.6B: ~400 s on 14 machines.
+
+Criterion: the cluster cost model must land within an order of magnitude
+of each cited figure, and SSSP scaling must go flat.
+"""
+
+from conftest import once
+
+from repro.analysis.experiments import run_cluster_anecdotes
+from repro.analysis.report import format_seconds
+
+
+def bench_cluster_anecdotes(benchmark, config, capsys):
+    result = once(benchmark, lambda: run_cluster_anecdotes(config))
+
+    for name in result.rows:
+        assert result.within_order_of_magnitude(name), name
+    assert 85 in result.sssp_flat_counts
+
+    benchmark.extra_info.update(
+        rows={
+            k: {kk: round(vv, 2) for kk, vv in v.items()}
+            for k, v in result.rows.items()
+        },
+        sssp_flat_counts=result.sssp_flat_counts,
+    )
+
+    with capsys.disabled():
+        print()
+        for name, row in result.rows.items():
+            print(
+                f"{name}: simulated {format_seconds(row['simulated'])} "
+                f"vs paper ~{format_seconds(row['paper'])} on "
+                f"{int(row['machines'])} machines"
+            )
+        print(
+            f"Giraph SSSP flat scaling at machine counts "
+            f"{result.sssp_flat_counts} (paper: 30-85)"
+        )

@@ -1,0 +1,67 @@
+"""Figure 1: connected-components execution time by iteration.
+
+Paper reference: the BSP algorithm completes in 13 supersteps (first
+four carry almost all vertices, then activity collapses); GraphCT
+completes in 6 iterations of constant work.  Heavy iterations show even
+vertical spacing across processor counts (linear scaling); the BSP tail
+flattens as the active set shrinks.  Totals at 128P: 5.40 s (BSP) vs
+1.31 s (GraphCT).
+"""
+
+from conftest import once
+
+from repro.analysis.experiments import run_fig1
+from repro.analysis.report import format_seconds, format_series
+
+
+def bench_fig1_connected_components(benchmark, config, capsys):
+    result = once(benchmark, lambda: run_fig1(config))
+
+    # Shape criteria (DESIGN.md §4).
+    assert result.superstep_inflation >= 1.4
+    bsp_total, shm_total = result.totals_at(max(config.processor_counts))
+    assert 2.0 <= bsp_total / shm_total <= 20.0
+
+    # Heavy BSP supersteps scale; GraphCT iterations are constant work.
+    heavy = result.bsp_times_paper_scale
+    assert (
+        heavy[8]["by_iteration"][0] / heavy[128]["by_iteration"][0] > 8
+    ), "first superstep must scale near-linearly at paper-scale work"
+    per_iter = list(result.graphct_times[128]["by_iteration"].values())
+    assert max(per_iter) <= 1.2 * min(per_iter)
+
+    benchmark.extra_info.update(
+        bsp_supersteps=result.bsp.num_supersteps,
+        graphct_iterations=result.graphct.num_iterations,
+        inflation=round(result.superstep_inflation, 2),
+        bsp_total_128=round(bsp_total, 5),
+        graphct_total_128=round(shm_total, 5),
+        paper="13 supersteps vs 6 iterations; 5.40s vs 1.31s",
+    )
+
+    with capsys.disabled():
+        for model, sweep in (
+            ("BSP", result.bsp_times), ("GraphCT", result.graphct_times)
+        ):
+            iters = sorted(next(iter(sweep.values()))["by_iteration"])
+            cols = [
+                (
+                    f"P={p}",
+                    [
+                        format_seconds(sweep[p]["by_iteration"][i])
+                        for i in iters
+                    ],
+                )
+                for p in config.processor_counts
+            ]
+            print()
+            print(format_series(
+                f"Figure 1 ({model}) — time per iteration", iters, *cols
+            ))
+        print(
+            f"\nBSP {result.bsp.num_supersteps} supersteps / GraphCT "
+            f"{result.graphct.num_iterations} iterations "
+            f"(paper: 13 / 6); totals at 128P "
+            f"{format_seconds(bsp_total)} vs {format_seconds(shm_total)} "
+            f"(paper: 5.40s vs 1.31s)"
+        )

@@ -1,0 +1,54 @@
+"""Figure 2: BFS frontier size vs number of BSP messages per level.
+
+Paper reference: initially almost every neighbour of the frontier is on
+the next frontier, so messages track the frontier; once the bulk of the
+graph is discovered, "the number of messages from superstep four to the
+end is an order of magnitude larger than the real frontier", declining
+exponentially.
+"""
+
+import numpy as np
+from conftest import once
+
+from repro.analysis.experiments import run_fig2
+from repro.analysis.report import format_series
+
+
+def bench_fig2_frontier_vs_messages(benchmark, config, capsys):
+    result = once(benchmark, lambda: run_fig2(config))
+
+    frontier = result.frontier_sizes
+    messages = result.bsp_messages
+    apex = int(np.argmax(frontier))
+    assert 0 < apex < len(frontier) - 1, "frontier must ramp and contract"
+    assert result.peak_message_to_frontier_ratio > 10, (
+        "post-apex deliveries must dwarf the true frontier"
+    )
+    msg_apex = int(np.argmax(messages))
+    assert all(
+        messages[i] >= messages[i + 1]
+        for i in range(msg_apex, len(messages) - 1)
+    ), "messages must decline monotonically past their apex"
+
+    benchmark.extra_info.update(
+        frontier=frontier,
+        messages=messages,
+        peak_delivered_to_frontier=round(
+            result.peak_message_to_frontier_ratio, 1
+        ),
+        paper="messages an order of magnitude above frontier post-apex",
+    )
+
+    with capsys.disabled():
+        print()
+        print(format_series(
+            "Figure 2 — frontier (GraphCT) vs messages (BSP) by level",
+            list(range(max(len(frontier), len(messages)))),
+            ("frontier", frontier),
+            ("messages", messages),
+        ))
+        print(
+            f"\npeak delivered/frontier after apex: "
+            f"{result.peak_message_to_frontier_ratio:.0f}x "
+            f"(paper: 'an order of magnitude')"
+        )

@@ -1,0 +1,66 @@
+"""Figure 3: scalability of the middle BFS levels, BSP vs GraphCT.
+
+Paper reference (levels 3-8 of a scale-24 BFS): early/late levels show
+flat scaling; the levels around the frontier apex scale near-linearly to
+128 processors; BSP per-level times sit above GraphCT's because an
+order of magnitude more queue traffic contends on the message queue.
+Totals at 128P: 3.12 s (BSP) vs 310 ms (GraphCT).
+"""
+
+from conftest import once
+
+from repro.analysis.experiments import run_fig3
+from repro.analysis.report import format_scaling_table, format_seconds
+
+
+def bench_fig3_bfs_level_scaling(benchmark, config, capsys):
+    result = once(benchmark, lambda: run_fig3(config))
+
+    # Apex levels scale near-linearly at paper-scale work ...
+    best_bsp = max(
+        result.speedup("bsp", lvl, paper_scale=True) for lvl in result.levels
+    )
+    best_shm = max(
+        result.speedup("graphct", lvl, paper_scale=True)
+        for lvl in result.levels
+    )
+    assert best_bsp > 8 and best_shm > 8
+    # ... while the smallest interior level stays flat even there.
+    worst = min(
+        result.speedup("graphct", lvl, paper_scale=True)
+        for lvl in result.levels
+    )
+    assert worst < 4
+    # BSP is slower overall, within the paper's band.
+    p_max = max(config.processor_counts)
+    ratio = result.bsp_total[p_max] / result.graphct_total[p_max]
+    assert 2.0 <= ratio <= 20.0
+
+    benchmark.extra_info.update(
+        levels=result.levels,
+        bsp_total={p: round(v, 5) for p, v in result.bsp_total.items()},
+        graphct_total={
+            p: round(v, 6) for p, v in result.graphct_total.items()
+        },
+        best_speedups={"bsp": round(best_bsp, 1), "graphct": round(best_shm, 1)},
+        paper="3.12s vs 310ms at 128P; apex levels linear, edges flat",
+    )
+
+    with capsys.disabled():
+        for model in ("bsp", "graphct"):
+            print()
+            print(format_scaling_table(
+                f"Figure 3 ({model}) — per-level time vs P "
+                f"[paper-scale work]",
+                config.processor_counts,
+                {
+                    f"level {lvl}": result.series_paper_scale[model][lvl]
+                    for lvl in result.levels
+                },
+            ))
+        print(
+            f"\ntotals at P={p_max}: BSP "
+            f"{format_seconds(result.bsp_total[p_max])} vs GraphCT "
+            f"{format_seconds(result.graphct_total[p_max])} "
+            f"(paper: 3.12s vs 310ms)"
+        )

@@ -1,0 +1,37 @@
+"""Graph500-style BFS benchmark (paper §IV motivation).
+
+Runs the benchmark shape — RMAT generation, a batch of validated BFS
+searches, harmonic-mean TEPS on the simulated 128-processor XMT — for
+both programming models.  The shared-memory model must post the higher
+TEPS (Table I's 10.1:1 BFS ratio expressed as throughput).
+"""
+
+from conftest import BENCH_SCALE, once
+
+from repro.analysis.graph500 import run_graph500
+
+
+def bench_graph500_bfs(benchmark, capsys):
+    scale = min(BENCH_SCALE, 13)  # 8 full searches; keep wall time sane
+
+    result = once(
+        benchmark, lambda: run_graph500(scale=scale, num_searches=8, seed=1)
+    )
+
+    hm_shm = result.harmonic_mean_teps("graphct")
+    hm_bsp = result.harmonic_mean_teps("bsp")
+    assert hm_shm > hm_bsp, "shared memory must post higher TEPS"
+    assert 1.5 <= hm_shm / hm_bsp <= 20.0
+
+    benchmark.extra_info.update(
+        scale=scale,
+        harmonic_mean_teps={"graphct": f"{hm_shm:.3e}", "bsp": f"{hm_bsp:.3e}"},
+        searches=result.num_searches,
+    )
+    with capsys.disabled():
+        print(
+            f"\nGraph500 (scale {scale}, {result.num_searches} validated "
+            f"searches): harmonic-mean simulated TEPS "
+            f"GraphCT {hm_shm:.3e} vs BSP {hm_bsp:.3e} "
+            f"({hm_shm / hm_bsp:.1f}x)"
+        )

@@ -1,0 +1,119 @@
+"""Library micro-benchmarks: wall time of the hot kernels themselves.
+
+Unlike the figure benches (which report *simulated XMT seconds*), these
+measure this library's own NumPy implementations — useful for tracking
+performance regressions of the reproduction code.
+"""
+
+from repro.bsp_algorithms import (
+    bsp_breadth_first_search,
+    bsp_connected_components,
+)
+from repro.graph.generators import rmat
+from repro.graphct import breadth_first_search, connected_components
+
+
+def bench_rmat_generation(benchmark, config):
+    graph = benchmark(
+        rmat, scale=config.scale, edge_factor=16, seed=config.seed
+    )
+    assert graph.num_vertices == 2 ** config.scale
+
+
+def bench_graphct_connected_components(benchmark, workload):
+    res = benchmark(connected_components, workload.graph)
+    assert res.num_components > 0
+
+
+def bench_graphct_bfs(benchmark, workload):
+    res = benchmark(breadth_first_search, workload.graph, workload.bfs_source)
+    assert res.vertices_reached > 1
+
+
+def bench_bsp_connected_components(benchmark, workload):
+    res = benchmark(bsp_connected_components, workload.graph)
+    assert res.num_components > 0
+
+
+def bench_bsp_bfs(benchmark, workload):
+    res = benchmark(
+        bsp_breadth_first_search, workload.graph, workload.bfs_source
+    )
+    assert res.vertices_reached > 1
+
+
+def bench_graphct_triangles(benchmark, config):
+    from conftest import once
+
+    from repro.graphct import count_triangles
+
+    graph = rmat(scale=min(config.scale, 12), edge_factor=16, seed=1)
+    res = once(benchmark, lambda: count_triangles(graph))
+    assert res.total_triangles > 0
+
+
+def bench_bsp_triangles(benchmark, config):
+    from conftest import once
+
+    from repro.bsp_algorithms import bsp_count_triangles
+
+    graph = rmat(scale=min(config.scale, 12), edge_factor=16, seed=1)
+    res = once(benchmark, lambda: bsp_count_triangles(graph))
+    assert res.total_triangles > 0
+
+
+def bench_graphct_kcore(benchmark, workload):
+    from repro.graphct import k_core_decomposition
+
+    res = benchmark(k_core_decomposition, workload.graph)
+    assert res.max_core > 1
+
+
+def bench_graphct_pagerank(benchmark, workload):
+    from repro.graphct import pagerank
+
+    res = benchmark(pagerank, workload.graph)
+    assert abs(res.ranks.sum() - 1.0) < 1e-9
+
+
+def bench_betweenness_sampled(benchmark, workload):
+    from conftest import once
+
+    from repro.graphct import betweenness_centrality
+
+    res = once(
+        benchmark,
+        lambda: betweenness_centrality(
+            workload.graph, num_sources=64, seed=1
+        ),
+    )
+    assert (res.scores >= 0).all()
+
+
+def bench_streaming_update(benchmark, config):
+    """Single-edge incremental clustering update latency."""
+    import numpy as np
+
+    from repro.graph.streaming import StreamingGraph
+    from repro.graphct.streaming_clustering import (
+        StreamingClusteringCoefficients,
+    )
+
+    base = rmat(scale=min(config.scale, 12), edge_factor=16, seed=1)
+    tracker = StreamingClusteringCoefficients(
+        StreamingGraph.from_csr(base)
+    )
+    rng = np.random.default_rng(3)
+    n = base.num_vertices
+    pairs = iter(
+        (int(a), int(b))
+        for a, b in rng.integers(0, n, (100_000, 2))
+        if a != b
+    )
+
+    def one_update():
+        u, v = next(pairs)
+        if not tracker.insert_edge(u, v):
+            tracker.delete_edge(u, v)
+
+    benchmark(one_update)

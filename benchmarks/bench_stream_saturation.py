@@ -1,0 +1,51 @@
+"""Validation bench: the cycle-level stream scheduler vs the analytic
+cost model's saturation law.
+
+The analytic model assumes the XMT reaches full issue rate once enough
+streams hold ready instructions, and degrades to a latency-dominated
+regime below that (with ``stream_utilization`` capping the effective
+stream count).  This bench measures utilization on the simulated
+mechanism across stream counts and asserts the law's shape: monotone
+rise, knee at the analytic saturation point, near-1.0 beyond it.
+"""
+
+from conftest import once
+
+from repro.xmt.streams import StreamSimulator, StreamWorkload
+
+
+def bench_stream_saturation(benchmark, capsys):
+    latency = 120
+    workload = StreamWorkload(instructions=240, memory_period=3)
+    counts = [1, 2, 4, 8, 16, 32, 64, 128, 256]
+
+    def run():
+        return StreamSimulator(
+            memory_latency_cycles=latency
+        ).utilization_curve(workload, counts)
+
+    curve = once(benchmark, run)
+
+    values = [curve[c] for c in counts]
+    assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+    saturation = StreamSimulator(
+        memory_latency_cycles=latency
+    ).saturation_streams(workload)
+    below = max(c for c in counts if c <= saturation / 2)
+    above = min(c for c in counts if c >= saturation * 2)
+    assert curve[below] < 0.7
+    assert curve[above] > 0.9
+
+    benchmark.extra_info.update(
+        latency=latency,
+        saturation_streams=round(saturation, 1),
+        curve={c: round(u, 3) for c, u in curve.items()},
+    )
+    with capsys.disabled():
+        print(
+            f"\nstream saturation (latency {latency} cycles, analytic "
+            f"knee at {saturation:.0f} streams):"
+        )
+        for c in counts:
+            bar = "#" * int(curve[c] * 40)
+            print(f"  {c:4d} streams  {curve[c]:5.2f}  {bar}")

@@ -1,0 +1,50 @@
+"""Table I: total execution times on the 128-processor Cray XMT.
+
+Paper reference (scale-24 RMAT, 16M vertices / 268M edges):
+
+    ==========================  ======  =======  ======
+    Algorithm                   BSP     GraphCT  Ratio
+    ==========================  ======  =======  ======
+    Connected components        5.40s   1.31s    4.1:1
+    Breadth-first search        3.12s   0.310s   10.1:1
+    Triangle counting           444s    47.4s    9.4:1
+    ==========================  ======  =======  ======
+
+Reproduction criteria: GraphCT wins every row; BSP lands within 2-20x
+(paper: "within a factor of 10").
+"""
+
+from conftest import once
+
+from repro.analysis.experiments import run_table1
+from repro.analysis.report import format_table1
+
+
+def bench_table1(benchmark, config, capsys):
+    result = once(benchmark, lambda: run_table1(config))
+
+    for name, row in result.rows.items():
+        assert row["ratio"] > 1.0, f"{name}: GraphCT must win"
+        assert row["ratio"] <= 20.0, f"{name}: BSP within a factor of ~10"
+
+    benchmark.extra_info["rows"] = {
+        k: {kk: round(vv, 4) for kk, vv in v.items()}
+        for k, v in result.rows.items()
+    }
+    benchmark.extra_info["extrapolated_rows"] = {
+        k: {kk: round(vv, 3) for kk, vv in v.items()}
+        for k, v in result.extrapolated_rows.items()
+    }
+    with capsys.disabled():
+        print()
+        print(format_table1(
+            result.rows,
+            title=f"Table I [measured, RMAT scale {config.scale}]",
+            paper_rows=result.paper_rows,
+        ))
+        print()
+        print(format_table1(
+            result.extrapolated_rows,
+            title="Table I [work extrapolated to paper scale 24]",
+            paper_rows=result.paper_rows,
+        ))

@@ -1,0 +1,41 @@
+"""Shared benchmark fixtures.
+
+Benchmarks run at the default experiment scale (RMAT scale 14, edge
+factor 16, seed 1 — the 1/1024 miniature of the paper's input).  Set
+``REPRO_BENCH_SCALE`` to change it.  Every benchmark measures the *wall
+time of this library's implementation* with pytest-benchmark and stashes
+the reproduced paper numbers (simulated XMT seconds, ratios, counts) in
+``benchmark.extra_info``, printing the paper-layout table to stdout.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import os
+
+import pytest
+
+from repro.analysis.workload import ExperimentConfig, build_workload
+
+BENCH_SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "14"))
+
+
+@pytest.fixture(scope="session")
+def config():
+    return ExperimentConfig(scale=BENCH_SCALE, edge_factor=16, seed=1)
+
+
+@pytest.fixture(scope="session")
+def workload(config):
+    return build_workload(config)
+
+
+def once(benchmark, fn):
+    """Benchmark ``fn`` with a single measured round.
+
+    The heavyweight kernels (triangle counting at scale 14 runs for
+    seconds) would otherwise be re-executed dozens of times; their
+    variance is dominated by the algorithm, not the timer.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

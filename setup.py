@@ -1,0 +1,6 @@
+"""Legacy setup shim: lets ``pip install -e . --no-use-pep517`` work on
+offline machines that lack the ``wheel`` package (PEP-517 editable installs
+require it)."""
+from setuptools import setup
+
+setup()

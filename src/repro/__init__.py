@@ -1,0 +1,61 @@
+"""repro — reproduction of *Investigating Graph Algorithms in the BSP
+Model on the Cray XMT* (Ediger & Bader, IEEE IPDPSW 2013).
+
+The package compares two programming models for static graph analytics —
+GraphCT-style loop-parallel shared memory and Pregel-style bulk
+synchronous parallel — on a simulated 128-processor Cray XMT.
+
+Quick start::
+
+    from repro import rmat, GraphCT, bsp_connected_components
+    from repro.xmt import PNNL_XMT, simulate
+
+    graph = rmat(scale=14, edge_factor=16, seed=1)
+
+    shared = GraphCT(graph).connected_components()
+    bsp = bsp_connected_components(graph)
+    assert (shared.labels == bsp.labels).all()
+
+    print(simulate(shared.trace, PNNL_XMT).total_seconds)
+    print(simulate(bsp.trace, PNNL_XMT).total_seconds)
+
+Subpackages:
+
+* :mod:`repro.graph` — CSR storage, RMAT generation, I/O (S1-S4);
+* :mod:`repro.xmt` — the Cray XMT machine model (S5-S7);
+* :mod:`repro.runtime` — instrumented parallel runtime (S7-S8);
+* :mod:`repro.graphct` — shared-memory baseline kernels (S9);
+* :mod:`repro.bsp` — the Pregel-style engine and API (S10-S11);
+* :mod:`repro.bsp_algorithms` — the paper's BSP algorithms (S12);
+* :mod:`repro.analysis` — figure/table reproduction harness (S13);
+* :mod:`repro.cluster` — distributed-cluster cost model (S14);
+* :mod:`repro.cli` — ``python -m repro.cli`` (S15).
+"""
+
+from repro.bsp import BSPEngine, VertexContext, VertexProgram
+from repro.bsp_algorithms import (
+    bsp_breadth_first_search,
+    bsp_connected_components,
+    bsp_count_triangles,
+    bsp_pagerank,
+    bsp_sssp,
+)
+from repro.graph import CSRGraph, from_edge_list, rmat
+from repro.graphct import GraphCT
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BSPEngine",
+    "CSRGraph",
+    "GraphCT",
+    "VertexContext",
+    "VertexProgram",
+    "bsp_breadth_first_search",
+    "bsp_connected_components",
+    "bsp_count_triangles",
+    "bsp_pagerank",
+    "bsp_sssp",
+    "from_edge_list",
+    "rmat",
+]

@@ -1,0 +1,111 @@
+"""ASCII line charts for terminal figure rendering.
+
+The paper's figures are log-scale line plots; ``python -m repro.cli
+<fig> --chart`` renders the same series as unicode-free ASCII charts so
+the shapes (even spacing = linear scaling, frontier ramp/apex/collapse)
+are visible without matplotlib.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_chart", "log_ascii_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    exp = math.floor(math.log10(abs(value)))
+    if -2 <= exp <= 3:
+        return f"{value:.3g}"
+    return f"{value:.1e}"
+
+
+def ascii_chart(
+    title: str,
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    logscale: bool = False,
+    x_labels: Sequence | None = None,
+) -> str:
+    """Render one or more series as an ASCII chart.
+
+    ``series`` maps a name to a list of y-values over a shared integer x
+    axis.  Values <= 0 are skipped in log scale.  Each series gets a
+    marker from ``oxo+*...``; the legend maps markers back to names.
+    """
+    if not series:
+        raise ValueError("series must be non-empty")
+    if width < 10 or height < 4:
+        raise ValueError("chart too small")
+    points: list[tuple[int, float, int]] = []  # (x, y, series_index)
+    max_len = 0
+    for s_idx, values in enumerate(series.values()):
+        max_len = max(max_len, len(values))
+        for x, y in enumerate(values):
+            if logscale and y <= 0:
+                continue
+            points.append((x, float(y), s_idx))
+    if not points:
+        raise ValueError("no plottable points")
+
+    ys = [p[1] for p in points]
+    y_min, y_max = min(ys), max(ys)
+    if logscale:
+        y_min, y_max = math.log10(y_min), math.log10(y_max)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_max = max(max_len - 1, 1)
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, s_idx in points:
+        col = round(x / x_max * (width - 1))
+        y_val = math.log10(y) if logscale else y
+        row = round((y_val - y_min) / (y_max - y_min) * (height - 1))
+        row = height - 1 - row
+        marker = _MARKERS[s_idx % len(_MARKERS)]
+        # Overlapping series show the later marker.
+        grid[row][col] = marker
+
+    top_tick = _format_tick(10**y_max if logscale else y_max)
+    bottom_tick = _format_tick(10**y_min if logscale else y_min)
+    gutter = max(len(top_tick), len(bottom_tick)) + 1
+
+    lines = [title, "=" * len(title)]
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = top_tick
+        elif r == height - 1:
+            label = bottom_tick
+        else:
+            label = ""
+        lines.append(f"{label.rjust(gutter)}|{''.join(row)}")
+    lines.append(" " * gutter + "+" + "-" * width)
+    if x_labels is not None:
+        first = str(x_labels[0]) if len(x_labels) else ""
+        last = str(x_labels[-1]) if len(x_labels) else ""
+        pad = width - len(first) - len(last)
+        lines.append(
+            " " * (gutter + 1) + first + " " * max(pad, 1) + last
+        )
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(f"{' ' * gutter} {legend}")
+    return "\n".join(lines)
+
+
+def log_ascii_chart(
+    title: str,
+    series: Mapping[str, Sequence[float]],
+    **kwargs,
+) -> str:
+    """Shortcut for the paper's log-y-scale figures."""
+    return ascii_chart(title, series, logscale=True, **kwargs)

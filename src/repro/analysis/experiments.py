@@ -1,0 +1,486 @@
+"""Reproductions of the paper's figures and table.
+
+Every function executes the real algorithms once per programming model
+(producing exact work traces on the actual input graph) and prices the
+traces on the XMT machine model at each processor count.  Results carry
+both the simulated series and the raw counts, plus the paper's reference
+values for EXPERIMENTS.md's paper-vs-measured tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.workload import ExperimentConfig, build_workload
+from repro.bsp_algorithms.bfs import BSPBFSResult, bsp_breadth_first_search
+from repro.bsp_algorithms.connected_components import (
+    BSPComponentsResult,
+    bsp_connected_components,
+)
+from repro.bsp_algorithms.triangles import (
+    BSPTriangleResult,
+    bsp_count_triangles,
+)
+from repro.graphct.bfs import BFSResult, breadth_first_search
+from repro.graphct.connected_components import (
+    ComponentsResult,
+    connected_components,
+)
+from repro.graphct.triangles import TriangleResult, count_triangles
+from repro.xmt.cost_model import simulate
+from repro.xmt.trace import WorkTrace
+
+__all__ = [
+    "ClusterAnecdotesResult",
+    "run_cluster_anecdotes",
+    "Fig1Result",
+    "Fig2Result",
+    "Fig3Result",
+    "Fig4Result",
+    "Table1Result",
+    "run_fig1",
+    "run_fig2",
+    "run_fig3",
+    "run_fig4",
+    "run_table1",
+]
+
+#: Reference values from the paper (128-processor Cray XMT, scale-24 RMAT).
+PAPER_TABLE1 = {
+    "connected_components": {"bsp": 5.40, "graphct": 1.31, "ratio": 4.1},
+    "breadth_first_search": {"bsp": 3.12, "graphct": 0.310, "ratio": 10.1},
+    "triangle_counting": {"bsp": 444.0, "graphct": 47.4, "ratio": 9.4},
+}
+#: §V: 5.5e9 wedge messages, 30.9e6 triangles, 181x the writes.
+PAPER_TRIANGLE_COUNTS = {
+    "possible_triangles": 5.5e9,
+    "actual_triangles": 30.9e6,
+    "write_ratio": 181.0,
+}
+
+
+def _sweep(
+    trace: WorkTrace, config: ExperimentConfig, *, extrapolate: bool = False
+) -> dict[int, dict]:
+    """Price ``trace`` at every processor count.
+
+    ``extrapolate`` scales per-region work to the paper's graph size
+    first (the miniature's active sets are too small to saturate 128
+    simulated processors; the paper-scale sweep restores the regime the
+    paper's scaling plots live in).
+
+    Returns ``{P: {"total": seconds, "by_iteration": {i: seconds}}}``.
+    """
+    if extrapolate:
+        trace = trace.scaled(config.extrapolation_factor)
+    out: dict[int, dict] = {}
+    for p in config.processor_counts:
+        run = simulate(trace, config.machine(p))
+        out[p] = {
+            "total": run.total_seconds,
+            "by_iteration": run.seconds_by_iteration(),
+        }
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figure 1 — connected components time per superstep/iteration
+# ----------------------------------------------------------------------
+@dataclass
+class Fig1Result:
+    """Connected-components execution time by iteration (paper Fig. 1)."""
+
+    config: ExperimentConfig
+    bsp: BSPComponentsResult
+    graphct: ComponentsResult
+    #: {P: {"total": s, "by_iteration": {i: s}}} for each model.
+    bsp_times: dict[int, dict] = field(default_factory=dict)
+    graphct_times: dict[int, dict] = field(default_factory=dict)
+    #: The same sweeps with work extrapolated to the paper's scale-24
+    #: input (the regime of the published figure).
+    bsp_times_paper_scale: dict[int, dict] = field(default_factory=dict)
+    graphct_times_paper_scale: dict[int, dict] = field(default_factory=dict)
+
+    @property
+    def superstep_inflation(self) -> float:
+        """BSP supersteps / shared-memory iterations.
+
+        Paper: 13 vs 6 (2.2x) at scale 24; the gap narrows at miniature
+        scale because both counts track graph eccentricity.  >= 1.4x is
+        the miniature-scale acceptance bar (see EXPERIMENTS.md).
+        """
+        return self.bsp.num_supersteps / self.graphct.num_iterations
+
+    def totals_at(self, processors: int) -> tuple[float, float]:
+        return (
+            self.bsp_times[processors]["total"],
+            self.graphct_times[processors]["total"],
+        )
+
+
+def run_fig1(config: ExperimentConfig | None = None) -> Fig1Result:
+    """Reproduce Figure 1 on the configured workload."""
+    wl = build_workload(config)
+    bsp = bsp_connected_components(wl.graph)
+    shm = connected_components(wl.graph)
+    return Fig1Result(
+        config=wl.config,
+        bsp=bsp,
+        graphct=shm,
+        bsp_times=_sweep(bsp.trace, wl.config),
+        graphct_times=_sweep(shm.trace, wl.config),
+        bsp_times_paper_scale=_sweep(bsp.trace, wl.config, extrapolate=True),
+        graphct_times_paper_scale=_sweep(
+            shm.trace, wl.config, extrapolate=True
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 2 — BFS frontier size vs messages generated
+# ----------------------------------------------------------------------
+@dataclass
+class Fig2Result:
+    """Frontier size (GraphCT) vs message count (BSP) per level."""
+
+    config: ExperimentConfig
+    source: int
+    #: GraphCT's true frontier per level — the red series.
+    frontier_sizes: list[int]
+    #: BSP messages generated per superstep — the green series.
+    bsp_messages: list[int]
+    bsp_result: BSPBFSResult = None
+    graphct_result: BFSResult = None
+
+    @property
+    def peak_message_to_frontier_ratio(self) -> float:
+        """Messages *delivered* at a level vs. that level's true frontier,
+        maximized over post-apex levels.
+
+        Messages sent during superstep s-1 arrive at superstep s, where
+        only ``frontier_sizes[s]`` vertices are genuinely new — the rest
+        of the deliveries are discarded (paper: "an order of magnitude
+        larger than the real frontier").
+        """
+        apex = int(np.argmax(self.frontier_sizes))
+        best = 0.0
+        for level in range(apex + 1, len(self.frontier_sizes)):
+            f = self.frontier_sizes[level]
+            if f > 0 and level - 1 < len(self.bsp_messages):
+                best = max(best, self.bsp_messages[level - 1] / f)
+        return best
+
+
+def run_fig2(config: ExperimentConfig | None = None) -> Fig2Result:
+    """Reproduce Figure 2 on the configured workload."""
+    wl = build_workload(config)
+    shm = breadth_first_search(wl.graph, wl.bfs_source)
+    bsp = bsp_breadth_first_search(wl.graph, wl.bfs_source)
+    return Fig2Result(
+        config=wl.config,
+        source=wl.bfs_source,
+        frontier_sizes=list(shm.frontier_sizes),
+        bsp_messages=list(bsp.messages_per_superstep),
+        bsp_result=bsp,
+        graphct_result=shm,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 3 — BFS per-level scalability
+# ----------------------------------------------------------------------
+@dataclass
+class Fig3Result:
+    """Per-level time vs processor count for the middle BFS levels."""
+
+    config: ExperimentConfig
+    source: int
+    #: Levels plotted (the paper uses 3..8 on a 10-level BFS at scale 24;
+    #: the miniature plots its own middle band).
+    levels: list[int]
+    #: {model: {level: {P: seconds}}} at miniature scale.
+    series: dict[str, dict[int, dict[int, float]]]
+    #: Same series with work extrapolated to the paper's scale.
+    series_paper_scale: dict[str, dict[int, dict[int, float]]]
+    bsp_total: dict[int, float]
+    graphct_total: dict[int, float]
+
+    def speedup(self, model: str, level: int, *, paper_scale: bool = False) -> float:
+        """time(P_min) / time(P_max) for one level's series."""
+        source = self.series_paper_scale if paper_scale else self.series
+        s = source[model][level]
+        pmin, pmax = min(s), max(s)
+        return s[pmin] / s[pmax] if s[pmax] > 0 else float("inf")
+
+
+def run_fig3(config: ExperimentConfig | None = None) -> Fig3Result:
+    """Reproduce Figure 3 on the configured workload."""
+    wl = build_workload(config)
+    shm = breadth_first_search(wl.graph, wl.bfs_source)
+    bsp = bsp_breadth_first_search(wl.graph, wl.bfs_source)
+
+    sweeps = {
+        False: (_sweep(shm.trace, wl.config), _sweep(bsp.trace, wl.config)),
+        True: (
+            _sweep(shm.trace, wl.config, extrapolate=True),
+            _sweep(bsp.trace, wl.config, extrapolate=True),
+        ),
+    }
+
+    num_levels = shm.num_levels
+    # The paper's levels 3-8 are the middle band of a ~10-level BFS;
+    # take the analogous interior band here (skip first and last level).
+    levels = list(range(1, max(num_levels - 1, 2)))
+    all_series = {}
+    for extrapolated, (shm_sweep, bsp_sweep) in sweeps.items():
+        series: dict[str, dict[int, dict[int, float]]] = {
+            "bsp": {}, "graphct": {}
+        }
+        for level in levels:
+            series["graphct"][level] = {
+                p: shm_sweep[p]["by_iteration"].get(level, 0.0)
+                for p in wl.config.processor_counts
+            }
+            series["bsp"][level] = {
+                p: bsp_sweep[p]["by_iteration"].get(level, 0.0)
+                for p in wl.config.processor_counts
+            }
+        all_series[extrapolated] = series
+
+    shm_sweep, bsp_sweep = sweeps[False]
+    return Fig3Result(
+        config=wl.config,
+        source=wl.bfs_source,
+        levels=levels,
+        series=all_series[False],
+        series_paper_scale=all_series[True],
+        bsp_total={p: bsp_sweep[p]["total"] for p in wl.config.processor_counts},
+        graphct_total={
+            p: shm_sweep[p]["total"] for p in wl.config.processor_counts
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 4 — triangle counting scalability + message accounting
+# ----------------------------------------------------------------------
+@dataclass
+class Fig4Result:
+    """Triangle-counting time vs processor count (paper Fig. 4)."""
+
+    config: ExperimentConfig
+    bsp: BSPTriangleResult
+    graphct: TriangleResult
+    bsp_times: dict[int, float] = field(default_factory=dict)
+    graphct_times: dict[int, float] = field(default_factory=dict)
+    bsp_times_paper_scale: dict[int, float] = field(default_factory=dict)
+    graphct_times_paper_scale: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def write_ratio(self) -> float:
+        """BSP writes / shared-memory writes.
+
+        Paper: 181x at scale 24.  The ratio tracks wedges/triangles,
+        which shrinks at miniature scale (RMAT miniatures are relatively
+        triangle-dense); >= 5x is the miniature acceptance bar.
+        """
+        shm_writes = self.graphct.trace.total_writes
+        return self.bsp.trace.total_writes / max(shm_writes, 1.0)
+
+    def speedup(self, model: str, *, paper_scale: bool = False) -> float:
+        if paper_scale:
+            times = (
+                self.bsp_times_paper_scale
+                if model == "bsp"
+                else self.graphct_times_paper_scale
+            )
+        else:
+            times = self.bsp_times if model == "bsp" else self.graphct_times
+        pmin, pmax = min(times), max(times)
+        return times[pmin] / times[pmax]
+
+
+def run_fig4(config: ExperimentConfig | None = None) -> Fig4Result:
+    """Reproduce Figure 4 on the configured workload."""
+    wl = build_workload(config)
+    bsp = bsp_count_triangles(wl.graph)
+    shm = count_triangles(wl.graph)
+    bsp_sweep = _sweep(bsp.trace, wl.config)
+    shm_sweep = _sweep(shm.trace, wl.config)
+    bsp_sweep_x = _sweep(bsp.trace, wl.config, extrapolate=True)
+    shm_sweep_x = _sweep(shm.trace, wl.config, extrapolate=True)
+    counts = wl.config.processor_counts
+    return Fig4Result(
+        config=wl.config,
+        bsp=bsp,
+        graphct=shm,
+        bsp_times={p: bsp_sweep[p]["total"] for p in counts},
+        graphct_times={p: shm_sweep[p]["total"] for p in counts},
+        bsp_times_paper_scale={p: bsp_sweep_x[p]["total"] for p in counts},
+        graphct_times_paper_scale={
+            p: shm_sweep_x[p]["total"] for p in counts
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Table I — total execution times at full machine size
+# ----------------------------------------------------------------------
+@dataclass
+class Table1Result:
+    """Total times on the full machine for all three algorithms."""
+
+    config: ExperimentConfig
+    #: {algorithm: {"bsp": s, "graphct": s, "ratio": x}} at max P.
+    rows: dict[str, dict[str, float]]
+    #: Same rows with per-iteration work extrapolated to the paper's
+    #: scale-24 input (see ExperimentConfig.extrapolation_factor).
+    extrapolated_rows: dict[str, dict[str, float]]
+    #: The paper's values for side-by-side reporting.
+    paper_rows: dict[str, dict[str, float]] = field(
+        default_factory=lambda: {k: dict(v) for k, v in PAPER_TABLE1.items()}
+    )
+
+    @property
+    def max_ratio(self) -> float:
+        return max(r["ratio"] for r in self.rows.values())
+
+
+def run_table1(config: ExperimentConfig | None = None) -> Table1Result:
+    """Reproduce Table I on the configured workload."""
+    wl = build_workload(config)
+    full_p = max(wl.config.processor_counts)
+    machine = wl.config.machine(full_p)
+    factor = wl.config.extrapolation_factor
+
+    traces = {
+        "connected_components": (
+            bsp_connected_components(wl.graph).trace,
+            connected_components(wl.graph).trace,
+        ),
+        "breadth_first_search": (
+            bsp_breadth_first_search(wl.graph, wl.bfs_source).trace,
+            breadth_first_search(wl.graph, wl.bfs_source).trace,
+        ),
+        "triangle_counting": (
+            bsp_count_triangles(wl.graph).trace,
+            count_triangles(wl.graph).trace,
+        ),
+    }
+
+    rows: dict[str, dict[str, float]] = {}
+    extrapolated: dict[str, dict[str, float]] = {}
+    for name, (bsp_trace, shm_trace) in traces.items():
+        bsp_s = simulate(bsp_trace, machine).total_seconds
+        shm_s = simulate(shm_trace, machine).total_seconds
+        rows[name] = {
+            "bsp": bsp_s, "graphct": shm_s, "ratio": bsp_s / shm_s
+        }
+        bsp_x = simulate(bsp_trace.scaled(factor), machine).total_seconds
+        shm_x = simulate(shm_trace.scaled(factor), machine).total_seconds
+        extrapolated[name] = {
+            "bsp": bsp_x, "graphct": shm_x, "ratio": bsp_x / shm_x
+        }
+
+    return Table1Result(
+        config=wl.config, rows=rows, extrapolated_rows=extrapolated
+    )
+
+
+# ----------------------------------------------------------------------
+# Cluster anecdotes (§III–§IV narrative comparisons)
+# ----------------------------------------------------------------------
+@dataclass
+class ClusterAnecdotesResult:
+    """Order-of-magnitude checks against the cited distributed systems."""
+
+    #: {name: {"simulated": s, "paper": s, "machines": M}}.
+    rows: dict[str, dict[str, float]]
+    #: Machine counts at which Giraph-SSSP scaling went flat.
+    sssp_flat_counts: list[int]
+
+    def within_order_of_magnitude(self, name: str) -> bool:
+        row = self.rows[name]
+        ratio = row["simulated"] / row["paper"]
+        return 0.1 <= ratio <= 10.0
+
+
+def run_cluster_anecdotes(
+    config: ExperimentConfig | None = None,
+) -> ClusterAnecdotesResult:
+    """Reproduce the paper's three distributed-BSP anecdotes.
+
+    Each anecdote's workload is a miniature with the same shape, whose
+    BSP trace is extrapolated to the cited graph size and priced on the
+    cited cluster:
+
+    * Giraph connected components, Wikipedia-scale (6M vertices / 200M
+      edges), 6 nodes — "approximately 4 seconds", 12 supersteps;
+    * Giraph SSSP, Twitter (43.7M / 688M), 60 machines — ~30 s, flat
+      scaling from 30 to 85 machines (Kajdanowicz et al.);
+    * Trinity BFS, RMAT 512M / 6.6B, 14 machines — ~400 s.
+    """
+    from repro.bsp_algorithms.sssp import bsp_sssp
+    from repro.cluster.model import (
+        ClusterMachine,
+        flat_scaling_range,
+        simulate_cluster_bsp,
+    )
+
+    wl = build_workload(config)
+    graph = wl.graph
+    arcs = graph.num_arcs
+
+    rows: dict[str, dict[str, float]] = {}
+
+    # Giraph CC on Wikipedia: ~200M edges (400M arcs), 6M vertices,
+    # 6 nodes, ~4 s in 12 supersteps.  Giraph's CC job uses a min
+    # combiner, so at most (receiving vertices x machines) messages cross
+    # the network per superstep.
+    cc = bsp_connected_components(graph)
+    factor = 400e6 / arcs
+    combiner_cap = 6e6 * 6
+    msgs = [
+        int(min(m * factor, combiner_cap))
+        for m in cc.messages_per_superstep
+    ]
+    sim = simulate_cluster_bsp(
+        cc.trace.scaled(factor),
+        ClusterMachine(num_machines=6),
+        messages_per_superstep=msgs,
+    )
+    rows["giraph_cc_wikipedia"] = {
+        "simulated": sim.total_seconds, "paper": 4.0, "machines": 6
+    }
+
+    # Giraph SSSP on Twitter: ~688M edges (1.38B arcs), 60 machines, ~30 s.
+    sssp_run = bsp_sssp(graph, wl.bfs_source)
+    factor = 1.376e9 / arcs
+    scaled = sssp_run.trace.scaled(factor)
+    msgs = [int(m * factor) for m in sssp_run.messages_per_superstep]
+    cluster60 = ClusterMachine(num_machines=60)
+    sim = simulate_cluster_bsp(scaled, cluster60, messages_per_superstep=msgs)
+    rows["giraph_sssp_twitter"] = {
+        "simulated": sim.total_seconds, "paper": 30.0, "machines": 60
+    }
+    flat = flat_scaling_range(
+        scaled, cluster60, [30, 40, 50, 60, 70, 85]
+    )
+
+    # Trinity BFS on RMAT 512M/6.6B (13.2B arcs), 14 machines, ~400 s.
+    bfs_run = bsp_breadth_first_search(graph, wl.bfs_source)
+    factor = 13.2e9 / arcs
+    sim = simulate_cluster_bsp(
+        bfs_run.trace.scaled(factor),
+        ClusterMachine(num_machines=14),
+        messages_per_superstep=[
+            int(m * factor) for m in bfs_run.messages_per_superstep
+        ],
+    )
+    rows["trinity_bfs_rmat"] = {
+        "simulated": sim.total_seconds, "paper": 400.0, "machines": 14
+    }
+
+    return ClusterAnecdotesResult(rows=rows, sssp_flat_counts=flat)

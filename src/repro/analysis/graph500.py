@@ -1,0 +1,136 @@
+"""Graph500-style BFS harness and result validation.
+
+The paper motivates BFS with the Graph500 benchmark (§IV).  This module
+implements the benchmark's shape: generate an RMAT graph, run a batch of
+BFS searches from random keys, **validate** each result with the
+specification's checks, and report harmonic-mean TEPS (traversed edges
+per second) — here using the simulated XMT time, for both programming
+models.
+
+Validation follows Graph500's result-verification rules for a BFS tree:
+
+1. the tree spans exactly the vertices reachable from the root;
+2. every tree edge exists in the graph;
+3. a child's depth is its parent's depth plus one;
+4. the root is its own tree's depth-0 vertex.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bsp_algorithms.bfs import bsp_breadth_first_search
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import rmat
+from repro.graphct.bfs import BFSResult, breadth_first_search
+from repro.xmt.cost_model import simulate
+from repro.xmt.machine import XMTMachine
+
+__all__ = [
+    "BFSValidationError",
+    "Graph500Result",
+    "run_graph500",
+    "validate_bfs_result",
+]
+
+
+class BFSValidationError(AssertionError):
+    """A BFS result failed Graph500 verification."""
+
+
+def validate_bfs_result(graph: CSRGraph, result: BFSResult) -> None:
+    """Apply the Graph500 verification rules; raises on violation."""
+    dist = result.distances
+    parents = result.parents
+    n = graph.num_vertices
+
+    if not 0 <= result.source < n:
+        raise BFSValidationError("source out of range")
+    if dist[result.source] != 0 or parents[result.source] != -1:
+        raise BFSValidationError("root must have depth 0 and no parent")
+
+    reached = dist >= 0
+    # Rule 1: spanning exactly the reachable set — every arc connects
+    # two reached or two unreached vertices.
+    src, dst = graph.arc_sources(), graph.col_idx
+    if np.any(reached[src] != reached[dst]):
+        raise BFSValidationError(
+            "an edge crosses the reached/unreached boundary"
+        )
+
+    children = np.flatnonzero(reached)
+    children = children[children != result.source]
+    if np.any(parents[children] < 0):
+        raise BFSValidationError("reached vertex without a parent")
+    # Rule 2: tree edges exist.
+    for v in children.tolist():
+        if not graph.has_edge(int(parents[v]), v):
+            raise BFSValidationError(
+                f"tree edge {int(parents[v])}->{v} not in graph"
+            )
+    # Rule 3: depths increase by exactly one along tree edges.
+    if np.any(dist[children] != dist[parents[children]] + 1):
+        raise BFSValidationError("child depth != parent depth + 1")
+    # Unreached vertices carry no tree state.
+    if np.any(parents[~reached] != -1):
+        raise BFSValidationError("unreached vertex with a parent")
+
+
+@dataclass
+class Graph500Result:
+    """Outcome of a Graph500-style run."""
+
+    scale: int
+    edge_factor: int
+    num_searches: int
+    #: Simulated-XMT TEPS per search, per model.
+    teps: dict[str, list[float]] = field(default_factory=dict)
+    #: Edges traversed per search.
+    edges_traversed: list[int] = field(default_factory=list)
+
+    def harmonic_mean_teps(self, model: str) -> float:
+        values = self.teps[model]
+        return len(values) / sum(1.0 / v for v in values)
+
+
+def run_graph500(
+    scale: int = 12,
+    edge_factor: int = 16,
+    *,
+    num_searches: int = 8,
+    seed: int = 1,
+    machine: XMTMachine | None = None,
+) -> Graph500Result:
+    """Run the benchmark shape: generate, search, validate, score."""
+    if num_searches < 1:
+        raise ValueError("num_searches must be >= 1")
+    machine = machine or XMTMachine()
+    graph = rmat(scale=scale, edge_factor=edge_factor, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    candidates = np.flatnonzero(graph.degrees() > 0)
+    if candidates.size == 0:
+        raise ValueError("graph has no non-isolated vertices")
+    sources = rng.choice(
+        candidates, size=min(num_searches, candidates.size), replace=False
+    )
+
+    result = Graph500Result(
+        scale=scale,
+        edge_factor=edge_factor,
+        num_searches=int(sources.size),
+        teps={"graphct": [], "bsp": []},
+    )
+    for source in sources.tolist():
+        shm = breadth_first_search(graph, source)
+        validate_bfs_result(graph, shm)
+        bsp = bsp_breadth_first_search(graph, source)
+        if not np.array_equal(shm.distances, bsp.distances):
+            raise BFSValidationError("models disagree on distances")
+        edges = int(sum(shm.edges_examined))
+        result.edges_traversed.append(edges)
+        for model, trace in (("graphct", shm.trace), ("bsp", bsp.trace)):
+            seconds = simulate(trace, machine).total_seconds
+            result.teps[model].append(edges / seconds)
+    return result

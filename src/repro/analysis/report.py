@@ -1,0 +1,112 @@
+"""ASCII rendering of experiment results.
+
+The paper's figures are log-scale line plots; the CLI and benchmarks
+render the same data as aligned text tables (one column per processor
+count, one row per iteration/level) plus the headline totals, so a
+terminal diff against the paper's claims is possible without matplotlib.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = [
+    "format_seconds",
+    "format_series",
+    "format_scaling_table",
+    "format_table1",
+]
+
+
+def format_seconds(seconds: float) -> str:
+    """Human scale: 1.23s / 45.6ms / 789us."""
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    if seconds >= 1e-6:
+        return f"{seconds * 1e6:.1f}us"
+    return f"{seconds * 1e9:.0f}ns"
+
+
+def format_series(
+    title: str,
+    labels: Sequence,
+    *columns: tuple[str, Sequence],
+) -> str:
+    """Render parallel series as an aligned table.
+
+    ``labels`` names the rows; each ``(header, values)`` pair adds a
+    column (shorter columns are padded with '-').
+    """
+    headers = ["" ] + [h for h, _ in columns]
+    rows = []
+    for i, label in enumerate(labels):
+        row = [str(label)]
+        for _, values in columns:
+            row.append(str(values[i]) if i < len(values) else "-")
+        rows.append(row)
+    return _render(title, headers, rows)
+
+
+def format_scaling_table(
+    title: str,
+    processor_counts: Sequence[int],
+    series: Mapping[str, Mapping[int, float]],
+) -> str:
+    """Rows = series names, columns = processor counts, cells = times."""
+    headers = [""] + [f"P={p}" for p in processor_counts]
+    rows = []
+    for name, times in series.items():
+        rows.append(
+            [name] + [format_seconds(times[p]) for p in processor_counts]
+        )
+    return _render(title, headers, rows)
+
+
+def format_table1(
+    rows: Mapping[str, Mapping[str, float]],
+    *,
+    title: str = "Table I: execution times at full machine size",
+    paper_rows: Mapping[str, Mapping[str, float]] | None = None,
+) -> str:
+    """Render the Table I layout (+ the paper's values when given)."""
+    headers = ["Algorithm", "BSP", "GraphCT", "Ratio"]
+    if paper_rows is not None:
+        headers += ["Paper BSP", "Paper GraphCT", "Paper ratio"]
+    body = []
+    for name, vals in rows.items():
+        row = [
+            name.replace("_", " "),
+            format_seconds(vals["bsp"]),
+            format_seconds(vals["graphct"]),
+            f"{vals['ratio']:.1f}:1",
+        ]
+        if paper_rows is not None:
+            p = paper_rows[name]
+            row += [
+                format_seconds(p["bsp"]),
+                format_seconds(p["graphct"]),
+                f"{p['ratio']:.1f}:1",
+            ]
+        body.append(row)
+    return _render(title, headers, body)
+
+
+def _render(title: str, headers: list[str], rows: list[list[str]]) -> str:
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in rows)) if rows else
+        len(headers[c])
+        for c in range(len(headers))
+    ]
+    lines = [title, "=" * len(title)]
+    lines.append(
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip()
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(c.rjust(w) if i else c.ljust(w)
+                      for i, (c, w) in enumerate(zip(row, widths))).rstrip()
+        )
+    return "\n".join(lines)

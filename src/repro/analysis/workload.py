@@ -1,0 +1,94 @@
+"""Experiment workload construction.
+
+The paper's single input: an undirected, scale-free RMAT graph with 16M
+vertices and 268M edges (scale 24, edge factor 16).  The reproduction
+default is the scale-14 miniature of the same recipe; ``paper_scale``
+records the original exponent so results can be extrapolated (RMAT is
+self-similar, see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import rmat
+from repro.graph.properties import giant_component_vertex, peripheral_vertex
+from repro.xmt.machine import XMTMachine
+
+__all__ = [
+    "DEFAULT_PROCESSOR_COUNTS",
+    "ExperimentConfig",
+    "Workload",
+    "build_workload",
+]
+
+#: The paper sweeps processor counts doubling up to the full machine.
+DEFAULT_PROCESSOR_COUNTS = (8, 16, 32, 64, 128)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Parameters shared by every experiment."""
+
+    scale: int = 14
+    edge_factor: int = 16
+    seed: int = 1
+    processor_counts: tuple[int, ...] = DEFAULT_PROCESSOR_COUNTS
+    #: The paper's graph exponent, for work extrapolation.
+    paper_scale: int = 24
+
+    def __post_init__(self) -> None:
+        if not self.processor_counts:
+            raise ValueError("processor_counts must be non-empty")
+        if any(p < 1 for p in self.processor_counts):
+            raise ValueError("processor counts must be positive")
+        if self.paper_scale < self.scale:
+            raise ValueError("paper_scale must be >= scale")
+
+    @property
+    def extrapolation_factor(self) -> float:
+        """Work multiplier from the miniature to the paper's graph.
+
+        RMAT edge counts scale linearly in 2**scale at fixed edge factor;
+        per-iteration work in all three kernels is edge-dominated.
+        (Triangle-counting wedge counts grow *superlinearly*, so the
+        extrapolated BSP triangle numbers are a lower bound — noted in
+        EXPERIMENTS.md.)
+        """
+        return float(2 ** (self.paper_scale - self.scale))
+
+    def machine(self, processors: int) -> XMTMachine:
+        return XMTMachine(num_processors=processors)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A built experiment input."""
+
+    config: ExperimentConfig
+    graph: CSRGraph
+    #: BFS/SSSP source: a peripheral giant-component vertex, so the
+    #: traversal exhibits the full frontier ramp/apex/contraction profile
+    #: of the paper's figures.
+    bfs_source: int
+    #: A giant-component hub (used by ablations).
+    hub: int
+
+
+@lru_cache(maxsize=8)
+def _build_cached(
+    scale: int, edge_factor: int, seed: int
+) -> tuple[CSRGraph, int, int]:
+    graph = rmat(scale=scale, edge_factor=edge_factor, seed=seed)
+    return graph, peripheral_vertex(graph), giant_component_vertex(graph)
+
+
+def build_workload(config: ExperimentConfig | None = None) -> Workload:
+    """Build (and memoize) the experiment graph and its sources."""
+    config = config or ExperimentConfig()
+    graph, source, hub = _build_cached(
+        config.scale, config.edge_factor, config.seed
+    )
+    return Workload(config=config, graph=graph, bfs_source=source, hub=hub)

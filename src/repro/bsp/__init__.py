@@ -1,0 +1,73 @@
+"""Bulk synchronous parallel (Pregel-style) vertex-centric framework.
+
+The programming model the paper investigates (§II): a computation is a
+sequence of **supersteps**; in each superstep an active vertex
+
+1. receives the messages sent to it in the previous superstep,
+2. performs local computation and may update its state,
+3. sends messages that will be delivered in the *next* superstep,
+
+and may **vote to halt** — it then stays inactive until a message
+re-activates it.  Messages crossing superstep boundaries make the model
+deadlock-free by construction, at the price of computing on stale data
+(the effect behind the paper's connected-components iteration blow-up).
+
+Two execution paths share these semantics:
+
+* :class:`~repro.bsp.engine.BSPEngine` — the reference engine: runs any
+  user :class:`~repro.bsp.vertex.VertexProgram` one vertex at a time.
+  This is the public API for writing new algorithms.
+* the vectorized kernels in :mod:`repro.bsp_algorithms` — NumPy
+  whole-superstep implementations of the paper's three algorithms (plus
+  SSSP/PageRank), verified against the engine in the test suite and fast
+  enough for benchmark-scale graphs.
+
+Both paths record the same instrumentation (messages per superstep,
+active vertices, per-destination queue pressure) into an XMT work trace.
+"""
+
+from repro.bsp.aggregators import (
+    Aggregator,
+    LogicalAndAggregator,
+    LogicalOrAggregator,
+    MaxAggregator,
+    MinAggregator,
+    SumAggregator,
+)
+from repro.bsp.checkpoint import (
+    Checkpoint,
+    CheckpointStore,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.bsp.combiners import (
+    Combiner,
+    MaxCombiner,
+    MinCombiner,
+    SumCombiner,
+)
+from repro.bsp.engine import BSPEngine, BSPResult
+from repro.bsp.messages import MessageBuffer
+from repro.bsp.vertex import VertexContext, VertexProgram
+
+__all__ = [
+    "Aggregator",
+    "BSPEngine",
+    "BSPResult",
+    "Checkpoint",
+    "CheckpointStore",
+    "Combiner",
+    "load_checkpoint",
+    "save_checkpoint",
+    "LogicalAndAggregator",
+    "LogicalOrAggregator",
+    "MaxAggregator",
+    "MaxCombiner",
+    "MessageBuffer",
+    "MinAggregator",
+    "MinCombiner",
+    "SumAggregator",
+    "SumCombiner",
+    "VertexContext",
+    "VertexProgram",
+]

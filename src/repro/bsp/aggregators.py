@@ -1,0 +1,83 @@
+"""Global aggregators (Pregel §3.3 semantics).
+
+Vertices contribute values during superstep *s*; the reduced result is
+visible to every vertex during superstep *s + 1*.  Aggregators provide the
+only global communication channel in the model — used for convergence
+tests, global statistics, and coordination.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+__all__ = [
+    "Aggregator",
+    "SumAggregator",
+    "MinAggregator",
+    "MaxAggregator",
+    "LogicalAndAggregator",
+    "LogicalOrAggregator",
+]
+
+
+class Aggregator(ABC):
+    """A commutative, associative global reduction with an identity."""
+
+    @abstractmethod
+    def identity(self) -> Any:
+        """Value of an aggregation nobody contributed to."""
+
+    @abstractmethod
+    def reduce(self, acc: Any, value: Any) -> Any:
+        """Fold one contribution into the accumulator."""
+
+
+class SumAggregator(Aggregator):
+    """Sum of all contributions (counters, totals)."""
+
+    def identity(self):
+        return 0
+
+    def reduce(self, acc, value):
+        return acc + value
+
+
+class MinAggregator(Aggregator):
+    """Smallest contribution (None when nobody contributed)."""
+
+    def identity(self):
+        return None
+
+    def reduce(self, acc, value):
+        return value if acc is None or value < acc else acc
+
+
+class MaxAggregator(Aggregator):
+    """Largest contribution (None when nobody contributed)."""
+
+    def identity(self):
+        return None
+
+    def reduce(self, acc, value):
+        return value if acc is None or value > acc else acc
+
+
+class LogicalAndAggregator(Aggregator):
+    """True iff every contribution was truthy (convergence votes)."""
+
+    def identity(self):
+        return True
+
+    def reduce(self, acc, value):
+        return bool(acc) and bool(value)
+
+
+class LogicalOrAggregator(Aggregator):
+    """True iff any contribution was truthy (activity detection)."""
+
+    def identity(self):
+        return False
+
+    def reduce(self, acc, value):
+        return bool(acc) or bool(value)

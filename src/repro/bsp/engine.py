@@ -1,0 +1,288 @@
+"""The reference BSP engine.
+
+Executes a :class:`~repro.bsp.vertex.VertexProgram` under exact Pregel
+semantics:
+
+* superstep 0 runs ``compute`` on every vertex (or a chosen initial
+  active set) with no messages;
+* in superstep s+1, ``compute`` runs on every vertex that has incoming
+  messages *or* did not vote to halt;
+* messages sent in superstep s are visible only in superstep s+1;
+* execution terminates when every vertex has halted and no messages are
+  in flight (or ``max_supersteps`` is hit).
+
+Each superstep is recorded as one ``kind="superstep"`` region in an XMT
+work trace with the paper's cost drivers: active vertices (parallelism),
+message send/receive traffic (write blow-up), and per-destination queue
+pressure (fetch-and-add hotspot).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.bsp.aggregators import Aggregator
+from repro.bsp.checkpoint import Checkpoint, CheckpointStore
+from repro.bsp.combiners import Combiner
+from repro.bsp.instrumentation import record_superstep
+from repro.bsp.messages import MessageBuffer
+from repro.bsp.vertex import VertexContext, VertexProgram
+from repro.graph.csr import CSRGraph
+from repro.runtime.loops import Tracer
+from repro.xmt.calibration import DEFAULT_COSTS, KernelCosts
+from repro.xmt.trace import WorkTrace
+
+__all__ = ["BSPEngine", "BSPResult"]
+
+
+@dataclass
+class BSPResult:
+    """Outcome of a BSP computation."""
+
+    #: Final per-vertex state values.
+    values: list[Any]
+    #: Supersteps executed (compute phases that actually ran).
+    num_supersteps: int
+    #: Vertices that computed in each superstep.
+    active_per_superstep: list[int] = field(default_factory=list)
+    #: Messages *sent* during each superstep.
+    messages_per_superstep: list[int] = field(default_factory=list)
+    #: Aggregator values observed after each superstep, by name.
+    aggregator_history: dict[str, list[Any]] = field(default_factory=dict)
+    trace: WorkTrace = field(default_factory=WorkTrace)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.messages_per_superstep)
+
+    def values_array(self, dtype=np.float64, none_as=np.nan) -> np.ndarray:
+        """States as a NumPy array (``None`` mapped to ``none_as``)."""
+        return np.asarray(
+            [none_as if v is None else v for v in self.values], dtype=dtype
+        )
+
+
+class BSPEngine:
+    """Runs vertex programs over one read-only graph.
+
+    Parameters
+    ----------
+    graph:
+        The input graph; vertices are actors, arcs carry messages.
+    combiner:
+        Optional message combiner (off by default, like the paper's
+        runtime — see :mod:`repro.bsp.combiners`).
+    aggregators:
+        Named global aggregators available to the program.
+    costs:
+        Kernel accounting constants for the work trace.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        *,
+        combiner: Combiner | None = None,
+        aggregators: dict[str, Aggregator] | None = None,
+        costs: KernelCosts = DEFAULT_COSTS,
+    ) -> None:
+        self.graph = graph
+        self.combiner = combiner
+        self.costs = costs
+        self._aggregators = dict(aggregators or {})
+        # Mutable run state (rebuilt per run):
+        self.values: list[Any] = []
+        self.halted: np.ndarray = np.zeros(0, dtype=bool)
+        self.outbox: MessageBuffer = MessageBuffer(graph.num_vertices)
+        self._agg_current: dict[str, Any] = {}
+        self._agg_visible: dict[str, Any] = {}
+
+    # -- aggregator plumbing (called through VertexContext) ------------
+    def aggregate(self, name: str, value: Any) -> None:
+        if name not in self._aggregators:
+            raise KeyError(f"no aggregator named {name!r}")
+        agg = self._aggregators[name]
+        self._agg_current[name] = agg.reduce(self._agg_current[name], value)
+
+    def aggregated(self, name: str) -> Any:
+        if name not in self._aggregators:
+            raise KeyError(f"no aggregator named {name!r}")
+        return self._agg_visible[name]
+
+    # -- main loop ------------------------------------------------------
+    def run(
+        self,
+        program: VertexProgram,
+        *,
+        initial_active: Iterable[int] | None = None,
+        max_supersteps: int = 10_000,
+        trace_label: str = "bsp",
+        checkpoint_every: int | None = None,
+        checkpoint_store: "CheckpointStore | None" = None,
+        resume_from: "Checkpoint | None" = None,
+    ) -> BSPResult:
+        """Execute ``program`` to termination.
+
+        ``initial_active`` restricts superstep 0 to the given vertices
+        (Pregel activates all; single-source algorithms like BFS activate
+        just the source — both appear in the paper's pseudocode via the
+        ``s = 0`` branch).
+
+        Fault tolerance (Pregel §4.2 semantics): with
+        ``checkpoint_every=k`` a :class:`~repro.bsp.checkpoint.Checkpoint`
+        is written to ``checkpoint_store`` before every k-th superstep;
+        after a failure, ``run(..., resume_from=store.latest)`` replays
+        from the snapshot and produces results identical to an
+        uninterrupted run.  The trace of a resumed run covers only the
+        replayed supersteps.
+        """
+        if max_supersteps < 1:
+            raise ValueError("max_supersteps must be >= 1")
+        if checkpoint_every is not None:
+            if checkpoint_every < 1:
+                raise ValueError("checkpoint_every must be >= 1")
+            if checkpoint_store is None:
+                raise ValueError(
+                    "checkpoint_every requires a checkpoint_store"
+                )
+        graph = self.graph
+        n = graph.num_vertices
+        tracer = Tracer(label=trace_label)
+        result = BSPResult(values=[], num_supersteps=0)
+
+        if resume_from is not None:
+            ck = resume_from
+            if len(ck.values) != n:
+                raise ValueError(
+                    "checkpoint does not match this graph's vertex count"
+                )
+            self.values = list(ck.values)
+            self.halted = ck.halted.copy()
+            inbox = MessageBuffer(n, self.combiner)
+            for target, message in ck.pending:
+                inbox.send(-1, target, message)
+            self._agg_visible = dict(ck.aggregators)
+            for name, agg in self._aggregators.items():
+                self._agg_visible.setdefault(name, agg.identity())
+            result.active_per_superstep = list(ck.active_history)
+            result.messages_per_superstep = list(ck.message_history)
+            result.aggregator_history = {
+                name: list(vals)
+                for name, vals in ck.aggregator_history.items()
+            }
+            for name in self._aggregators:
+                result.aggregator_history.setdefault(name, [])
+            active0 = []  # unused on resume (superstep > 0)
+            superstep = ck.superstep
+        else:
+            self.values = [program.initial_value(v, graph) for v in range(n)]
+            self.halted = np.zeros(n, dtype=bool)
+            inbox = MessageBuffer(n, self.combiner)
+            self._agg_visible = {
+                name: agg.identity()
+                for name, agg in self._aggregators.items()
+            }
+            if initial_active is None:
+                active0 = list(range(n))
+            else:
+                active0 = sorted({int(v) for v in initial_active})
+                for v in active0:
+                    if not 0 <= v < n:
+                        raise IndexError(f"initial vertex {v} out of range")
+                self.halted[:] = True
+                self.halted[active0] = False
+            for name in self._aggregators:
+                result.aggregator_history[name] = []
+            superstep = 0
+
+        result.values = self.values
+        while superstep < max_supersteps:
+            if (
+                checkpoint_every is not None
+                and superstep > 0
+                and superstep % checkpoint_every == 0
+                and (resume_from is None or superstep > resume_from.superstep)
+            ):
+                checkpoint_store.save(self._snapshot(superstep, inbox, result))
+            if superstep == 0:
+                compute_set = active0
+            else:
+                with_messages = set(int(v) for v in inbox.destinations())
+                not_halted = set(np.flatnonzero(~self.halted).tolist())
+                compute_set = sorted(with_messages | not_halted)
+            if not compute_set:
+                break
+
+            self.outbox = MessageBuffer(n, self.combiner)
+            self._agg_current = {
+                name: agg.identity() for name, agg in self._aggregators.items()
+            }
+            received = 0
+            ctx = VertexContext(self)
+            for v in compute_set:
+                msgs = inbox.messages_for(v)
+                received += len(msgs)
+                self.halted[v] = False  # computing re-activates
+                ctx._vertex = v
+                ctx._superstep = superstep
+                program.compute(ctx, msgs)
+
+            sent = self.outbox.total_sent
+            self._record_superstep(
+                tracer, superstep, len(compute_set), received, self.outbox
+            )
+            result.active_per_superstep.append(len(compute_set))
+            result.messages_per_superstep.append(sent)
+            for name in self._aggregators:
+                self._agg_visible[name] = self._agg_current[name]
+                result.aggregator_history[name].append(self._agg_visible[name])
+
+            inbox = self.outbox
+            superstep += 1
+            if inbox.is_empty and bool(self.halted.all()):
+                break
+
+        result.num_supersteps = superstep
+        result.values = self.values
+        result.trace = tracer.trace
+        return result
+
+    # -- checkpointing ---------------------------------------------------
+    def _snapshot(
+        self, superstep: int, inbox: MessageBuffer, result: BSPResult
+    ) -> Checkpoint:
+        return Checkpoint(
+            superstep=superstep,
+            values=list(self.values),
+            halted=self.halted.copy(),
+            pending=inbox.all_messages(),
+            aggregators=dict(self._agg_visible),
+            active_history=list(result.active_per_superstep),
+            message_history=list(result.messages_per_superstep),
+            aggregator_history={
+                name: list(vals)
+                for name, vals in result.aggregator_history.items()
+            },
+        )
+
+    # -- instrumentation -------------------------------------------------
+    def _record_superstep(
+        self,
+        tracer: Tracer,
+        superstep: int,
+        active: int,
+        received: int,
+        outbox: MessageBuffer,
+    ) -> None:
+        record_superstep(
+            tracer,
+            superstep=superstep,
+            active=active,
+            received=received,
+            sent=outbox.total_sent,
+            enqueues_per_destination=outbox.enqueues_per_destination,
+            costs=self.costs,
+        )

@@ -1,0 +1,119 @@
+"""The vertex-program API (Pregel's user surface).
+
+"Each vertex becomes a first-class citizen and an independent actor"
+(paper §II).  A :class:`VertexProgram` implements one method,
+:meth:`~VertexProgram.compute`, called once per superstep for every active
+vertex with the messages delivered to it.  The :class:`VertexContext`
+passed in exposes everything the model permits: the vertex's own state,
+its neighbour list ("the vertex implicitly knows its neighbors"), message
+sending to neighbours or to any vertex it has learned about, aggregator
+access, and the vote to halt.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Sequence
+
+import numpy as np
+
+__all__ = ["VertexContext", "VertexProgram"]
+
+
+class VertexContext:
+    """Per-vertex view of the current superstep, handed to ``compute``.
+
+    Instances are reused across vertices within a superstep (the engine
+    rebinds them) — do not store a context beyond the ``compute`` call.
+    """
+
+    __slots__ = ("_engine", "_vertex", "_superstep")
+
+    def __init__(self, engine, vertex: int = -1, superstep: int = 0):
+        self._engine = engine
+        self._vertex = vertex
+        self._superstep = superstep
+
+    # -- identity ------------------------------------------------------
+    @property
+    def vertex_id(self) -> int:
+        """The vertex this compute call is executing for."""
+        return self._vertex
+
+    @property
+    def superstep(self) -> int:
+        """Current superstep number (0-based)."""
+        return self._superstep
+
+    @property
+    def num_vertices(self) -> int:
+        return self._engine.graph.num_vertices
+
+    # -- state ---------------------------------------------------------
+    @property
+    def value(self) -> Any:
+        """This vertex's persistent state (kept between supersteps)."""
+        return self._engine.values[self._vertex]
+
+    @value.setter
+    def value(self, new: Any) -> None:
+        self._engine.values[self._vertex] = new
+
+    # -- topology ------------------------------------------------------
+    def neighbors(self) -> np.ndarray:
+        """Out-neighbours of this vertex (read-only view)."""
+        return self._engine.graph.neighbors(self._vertex)
+
+    def degree(self) -> int:
+        return self._engine.graph.degree(self._vertex)
+
+    def edge_weights(self) -> np.ndarray:
+        return self._engine.graph.edge_weights(self._vertex)
+
+    # -- messaging -----------------------------------------------------
+    def send(self, target: int, message: Any) -> None:
+        """Send ``message`` to ``target``, delivered next superstep.
+
+        ``target`` may be any vertex the program knows — a neighbour or an
+        id learned from a received message (Pregel's "any vertex that it
+        can identify").
+        """
+        self._engine.outbox.send(self._vertex, int(target), message)
+
+    def send_to_neighbors(self, message: Any) -> None:
+        """Send ``message`` to every out-neighbour."""
+        outbox = self._engine.outbox
+        me = self._vertex
+        for n in self._engine.graph.neighbors(me).tolist():
+            outbox.send(me, n, message)
+
+    # -- control -------------------------------------------------------
+    def vote_to_halt(self) -> None:
+        """Deactivate after this superstep until a message arrives."""
+        self._engine.halted[self._vertex] = True
+
+    # -- aggregators ---------------------------------------------------
+    def aggregate(self, name: str, value: Any) -> None:
+        """Contribute to a named aggregator (visible next superstep)."""
+        self._engine.aggregate(name, value)
+
+    def aggregated(self, name: str) -> Any:
+        """Read the aggregator value from the *previous* superstep."""
+        return self._engine.aggregated(name)
+
+
+class VertexProgram(ABC):
+    """Base class for vertex-centric algorithms."""
+
+    @abstractmethod
+    def compute(self, ctx: VertexContext, messages: Sequence[Any]) -> None:
+        """Process one superstep for one vertex.
+
+        ``messages`` holds everything sent to this vertex in the previous
+        superstep (possibly reduced by a combiner).  Implementations
+        should call :meth:`VertexContext.vote_to_halt` when idle.
+        """
+
+    def initial_value(self, vertex: int, graph) -> Any:
+        """State assigned to ``vertex`` before superstep 0 (default None)."""
+        return None

@@ -1,0 +1,82 @@
+"""The paper's graph algorithms in the BSP model.
+
+Each module pairs the paper's pseudocode as a
+:class:`~repro.bsp.vertex.VertexProgram` (the readable reference, run by
+the engine) with a vectorized NumPy implementation of the same superstep
+semantics (the benchmark path).  The test suite asserts the two paths
+agree on final states, superstep counts, and per-superstep message
+counts.
+
+* :mod:`~repro.bsp_algorithms.connected_components` — Algorithm 1,
+* :mod:`~repro.bsp_algorithms.bfs` — Algorithm 2,
+* :mod:`~repro.bsp_algorithms.triangles` — Algorithm 3,
+* :mod:`~repro.bsp_algorithms.sssp` — weighted distance flooding (the
+  Kajdanowicz comparison),
+* :mod:`~repro.bsp_algorithms.pagerank` — the canonical Pregel example.
+"""
+
+from repro.bsp_algorithms.betweenness import (
+    BSPBetweennessResult,
+    bsp_betweenness_centrality,
+)
+from repro.bsp_algorithms.bfs import (
+    BSPBFSResult,
+    BSPBreadthFirstSearch,
+    bsp_breadth_first_search,
+)
+from repro.bsp_algorithms.community import (
+    BSPCommunityResult,
+    BSPLabelPropagation,
+    bsp_label_propagation_communities,
+)
+from repro.bsp_algorithms.connected_components import (
+    BSPComponentsResult,
+    BSPConnectedComponents,
+    bsp_connected_components,
+)
+from repro.bsp_algorithms.kcore import BSPKCore, BSPKCoreResult, bsp_k_core
+from repro.bsp_algorithms.mis import (
+    BSPLubyMIS,
+    BSPMISResult,
+    bsp_maximal_independent_set,
+)
+from repro.bsp_algorithms.pagerank import (
+    BSPPageRank,
+    BSPPageRankResult,
+    bsp_pagerank,
+)
+from repro.bsp_algorithms.sssp import BSPShortestPaths, BSPSSSPResult, bsp_sssp
+from repro.bsp_algorithms.triangles import (
+    BSPTriangleCounting,
+    BSPTriangleResult,
+    bsp_count_triangles,
+)
+
+__all__ = [
+    "BSPBFSResult",
+    "BSPBetweennessResult",
+    "BSPBreadthFirstSearch",
+    "BSPCommunityResult",
+    "BSPLabelPropagation",
+    "BSPComponentsResult",
+    "BSPConnectedComponents",
+    "BSPKCore",
+    "BSPKCoreResult",
+    "BSPLubyMIS",
+    "BSPMISResult",
+    "BSPPageRank",
+    "BSPPageRankResult",
+    "BSPSSSPResult",
+    "BSPShortestPaths",
+    "BSPTriangleCounting",
+    "BSPTriangleResult",
+    "bsp_betweenness_centrality",
+    "bsp_breadth_first_search",
+    "bsp_connected_components",
+    "bsp_count_triangles",
+    "bsp_k_core",
+    "bsp_label_propagation_communities",
+    "bsp_maximal_independent_set",
+    "bsp_pagerank",
+    "bsp_sssp",
+]

@@ -1,0 +1,35 @@
+"""Distributed-cluster BSP cost model.
+
+The paper contrasts its shared-memory BSP results with three published
+distributed BSP systems (§III–§IV): Apache Giraph computing connected
+components on a Wikipedia-derived graph in ~4 s on 6 nodes, Giraph SSSP
+on a Twitter graph in ~30 s on 60 machines (flat from 30 to 85), and
+Microsoft's Trinity running BFS on an RMAT graph with 512M vertices /
+6.6B edges in ~400 s on 14 machines.  This subpackage provides the
+coarse per-machine compute + network cost model the anecdote bench uses
+to show the reproduction lands in the same orders of magnitude.
+"""
+
+from repro.cluster.partition import (
+    PartitionStats,
+    balanced_edge_partition,
+    hash_partition,
+    partition_stats,
+)
+from repro.cluster.model import (
+    ClusterMachine,
+    ClusterSimulation,
+    flat_scaling_range,
+    simulate_cluster_bsp,
+)
+
+__all__ = [
+    "ClusterMachine",
+    "PartitionStats",
+    "balanced_edge_partition",
+    "hash_partition",
+    "partition_stats",
+    "ClusterSimulation",
+    "flat_scaling_range",
+    "simulate_cluster_bsp",
+]

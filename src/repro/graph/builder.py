@@ -1,0 +1,191 @@
+"""Graph construction: edge lists → :class:`~repro.graph.csr.CSRGraph`.
+
+The builder performs the normalization GraphCT's loaders perform before a
+graph is served to kernels: self-loop removal, duplicate-edge removal,
+symmetrization for undirected graphs, and per-vertex adjacency sorting.
+All steps are vectorized; construction of the paper-scale miniature
+(scale-14 RMAT, ~half a million arcs) takes milliseconds.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.graph.csr import OFFSET_DTYPE, VERTEX_DTYPE, WEIGHT_DTYPE, CSRGraph
+
+__all__ = ["GraphBuilder", "from_edge_array", "from_edge_list"]
+
+
+def _as_edge_array(edges: Iterable[Sequence[int]]) -> np.ndarray:
+    arr = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges)
+    if arr.size == 0:
+        return np.empty((0, 2), dtype=VERTEX_DTYPE)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError("edges must be an (m, 2) array of vertex pairs")
+    return arr.astype(VERTEX_DTYPE, copy=False)
+
+
+def from_edge_array(
+    edges: np.ndarray,
+    num_vertices: int | None = None,
+    *,
+    weights: np.ndarray | None = None,
+    directed: bool = False,
+    remove_self_loops: bool = True,
+    deduplicate: bool = True,
+) -> CSRGraph:
+    """Build a CSR graph from an ``(m, 2)`` integer edge array.
+
+    Parameters
+    ----------
+    edges:
+        ``(m, 2)`` array; row ``(u, v)`` is an edge.  For undirected graphs
+        each input edge is stored in both directions.
+    num_vertices:
+        Total vertex count.  Defaults to ``edges.max() + 1`` (isolated
+        trailing vertices must be declared explicitly).
+    weights:
+        Optional length-``m`` weight vector, one entry per input edge.
+    directed:
+        Keep arcs as given instead of symmetrizing.
+    remove_self_loops:
+        Drop ``(v, v)`` edges (GraphCT kernels assume simple graphs).
+    deduplicate:
+        Collapse repeated arcs.  RMAT emits duplicates by design, so the
+        generators rely on this.  For weighted graphs the *first* weight of
+        a duplicate group is kept.
+    """
+    edges = _as_edge_array(edges)
+    if weights is not None:
+        weights = np.asarray(weights, dtype=WEIGHT_DTYPE)
+        if weights.shape != (edges.shape[0],):
+            raise ValueError("weights must have one entry per input edge")
+
+    if num_vertices is None:
+        num_vertices = int(edges.max()) + 1 if edges.size else 0
+    if edges.size and (edges.min() < 0 or edges.max() >= num_vertices):
+        raise ValueError("edge endpoints out of range for num_vertices")
+
+    src = edges[:, 0]
+    dst = edges[:, 1]
+
+    if remove_self_loops and src.size:
+        keep = src != dst
+        src, dst = src[keep], dst[keep]
+        if weights is not None:
+            weights = weights[keep]
+
+    if not directed and src.size:
+        src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+        if weights is not None:
+            weights = np.concatenate([weights, weights])
+
+    # Sort arcs by (src, dst); this both groups adjacency lists and sorts
+    # them, so sorted_adjacency holds for free.
+    if src.size:
+        order = np.lexsort((dst, src))
+        src, dst = src[order], dst[order]
+        if weights is not None:
+            weights = weights[order]
+        if deduplicate:
+            uniq = np.empty(src.size, dtype=bool)
+            uniq[0] = True
+            np.logical_or(src[1:] != src[:-1], dst[1:] != dst[:-1], out=uniq[1:])
+            src, dst = src[uniq], dst[uniq]
+            if weights is not None:
+                weights = weights[uniq]
+
+    row_ptr = np.zeros(num_vertices + 1, dtype=OFFSET_DTYPE)
+    if src.size:
+        np.add.at(row_ptr, src + 1, 1)
+    np.cumsum(row_ptr, out=row_ptr)
+
+    return CSRGraph(
+        row_ptr=row_ptr,
+        col_idx=dst,
+        weights=weights,
+        directed=directed,
+        sorted_adjacency=True,
+    )
+
+
+def from_edge_list(
+    edges: Iterable[tuple[int, int]],
+    num_vertices: int | None = None,
+    **kwargs,
+) -> CSRGraph:
+    """Convenience wrapper over :func:`from_edge_array` for Python iterables."""
+    return from_edge_array(_as_edge_array(edges), num_vertices, **kwargs)
+
+
+class GraphBuilder:
+    """Incremental edge accumulator with a :meth:`build` finalizer.
+
+    Useful when edges arrive in batches (file readers, streaming examples).
+    Batches are buffered as arrays and concatenated once at build time, so
+    accumulation stays O(total edges).
+
+    Example
+    -------
+    >>> b = GraphBuilder(num_vertices=4)
+    >>> b.add_edge(0, 1)
+    >>> b.add_edges([(1, 2), (2, 3)])
+    >>> g = b.build()
+    >>> g.num_edges
+    3
+    """
+
+    def __init__(self, num_vertices: int | None = None, *, directed: bool = False):
+        self.num_vertices = num_vertices
+        self.directed = directed
+        self._chunks: list[np.ndarray] = []
+        self._weight_chunks: list[np.ndarray] = []
+        self._weighted: bool | None = None
+
+    def add_edge(self, u: int, v: int, weight: float | None = None) -> None:
+        """Append a single edge (slow path; prefer :meth:`add_edges`)."""
+        self.add_edges(
+            [(u, v)], weights=None if weight is None else [weight]
+        )
+
+    def add_edges(
+        self,
+        edges: Iterable[Sequence[int]],
+        weights: Sequence[float] | None = None,
+    ) -> None:
+        """Append a batch of edges (optionally weighted)."""
+        arr = _as_edge_array(edges)
+        weighted = weights is not None
+        if self._weighted is None:
+            self._weighted = weighted
+        elif self._weighted != weighted:
+            raise ValueError("cannot mix weighted and unweighted batches")
+        self._chunks.append(arr)
+        if weighted:
+            w = np.asarray(weights, dtype=WEIGHT_DTYPE)
+            if w.shape != (arr.shape[0],):
+                raise ValueError("weights must have one entry per edge")
+            self._weight_chunks.append(w)
+
+    @property
+    def num_buffered_edges(self) -> int:
+        return sum(c.shape[0] for c in self._chunks)
+
+    def build(self, **kwargs) -> CSRGraph:
+        """Finalize into a CSR graph; the builder may be reused afterwards."""
+        if self._chunks:
+            edges = np.concatenate(self._chunks, axis=0)
+        else:
+            edges = np.empty((0, 2), dtype=VERTEX_DTYPE)
+        weights = (
+            np.concatenate(self._weight_chunks) if self._weight_chunks else None
+        )
+        return from_edge_array(
+            edges,
+            self.num_vertices,
+            weights=weights,
+            directed=self.directed,
+            **kwargs,
+        )

@@ -1,0 +1,63 @@
+"""Total-order edge orientation.
+
+Triangle counting (in both programming models) relies on a total ordering
+of the vertices: the paper defines a triangle as a triple v_i, v_j, v_k
+with i < j < k so that each triangle is counted exactly once (§V).  This
+module orients an undirected graph's arcs along an ordering, producing a
+DAG in CSR form whose adjacency lists hold only higher-ranked neighbours.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import OFFSET_DTYPE, CSRGraph
+
+__all__ = ["ascending_orientation", "degree_orientation"]
+
+
+def ascending_orientation(graph: CSRGraph) -> CSRGraph:
+    """Keep only arcs u→v with ``u < v`` (vertex-id total order).
+
+    This is the ordering the paper's Algorithm 3 uses.  Input must be an
+    undirected (symmetric) graph.
+    """
+    if graph.directed:
+        raise ValueError("orientation requires an undirected graph")
+    src = graph.arc_sources()
+    keep = src < graph.col_idx
+    return _filtered_dag(graph, keep)
+
+
+def degree_orientation(graph: CSRGraph) -> CSRGraph:
+    """Keep only arcs u→v where u precedes v in (degree, id) order.
+
+    Orienting by degree sends hub work to low-degree endpoints and bounds
+    out-degrees by O(sqrt(m)) on scale-free graphs; the ablation bench
+    compares it against the paper's plain id order.
+    """
+    if graph.directed:
+        raise ValueError("orientation requires an undirected graph")
+    deg = graph.degrees()
+    src = graph.arc_sources()
+    dst = graph.col_idx
+    keep = (deg[src] < deg[dst]) | ((deg[src] == deg[dst]) & (src < dst))
+    return _filtered_dag(graph, keep)
+
+
+def _filtered_dag(graph: CSRGraph, keep: np.ndarray) -> CSRGraph:
+    src = graph.arc_sources()[keep]
+    dst = graph.col_idx[keep]
+    row_ptr = np.zeros(graph.num_vertices + 1, dtype=OFFSET_DTYPE)
+    if src.size:
+        np.add.at(row_ptr, src + 1, 1)
+    np.cumsum(row_ptr, out=row_ptr)
+    # Arcs were already grouped by src and sorted by dst in the input CSR,
+    # and boolean filtering preserves order, so adjacency stays sorted.
+    return CSRGraph(
+        row_ptr=row_ptr,
+        col_idx=dst,
+        weights=graph.weights[keep] if graph.weights is not None else None,
+        directed=True,
+        sorted_adjacency=graph.sorted_adjacency,
+    )

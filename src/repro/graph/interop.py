@@ -1,0 +1,94 @@
+"""networkx interoperability.
+
+The library has no hard dependency on networkx (the kernels are all
+self-contained), but downstream users — and this repository's own test
+oracles — often want to cross between the two worlds.  These helpers
+import networkx lazily and raise a clear error when it is missing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.builder import from_edge_array
+from repro.graph.csr import VERTEX_DTYPE, WEIGHT_DTYPE, CSRGraph
+
+__all__ = ["to_networkx", "from_networkx"]
+
+
+def _require_networkx():
+    try:
+        import networkx
+    except ImportError as exc:  # pragma: no cover - environment-specific
+        raise ImportError(
+            "networkx is required for graph interop; "
+            "install with `pip install repro[test]`"
+        ) from exc
+    return networkx
+
+
+def to_networkx(graph: CSRGraph):
+    """Convert a CSR graph to ``networkx.Graph`` / ``DiGraph``.
+
+    Vertex ids become node labels 0..n-1 (isolated vertices included);
+    weights transfer to the ``weight`` edge attribute.
+    """
+    nx = _require_networkx()
+    out = nx.DiGraph() if graph.directed else nx.Graph()
+    out.add_nodes_from(range(graph.num_vertices))
+    src = graph.arc_sources()
+    dst = graph.col_idx
+    if graph.directed:
+        keep = np.ones(src.size, dtype=bool)
+    else:
+        keep = src <= dst
+    if graph.weights is not None:
+        out.add_weighted_edges_from(
+            zip(
+                src[keep].tolist(),
+                dst[keep].tolist(),
+                graph.weights[keep].tolist(),
+            )
+        )
+    else:
+        out.add_edges_from(zip(src[keep].tolist(), dst[keep].tolist()))
+    return out
+
+
+def from_networkx(nx_graph) -> CSRGraph:
+    """Convert a networkx graph with integer-labelled nodes to CSR.
+
+    Node labels must be integers in ``[0, n)``; relabel with
+    ``networkx.convert_node_labels_to_integers`` first if they are not.
+    An edge ``weight`` attribute, when present on every edge, transfers
+    to the CSR weights array.
+    """
+    _require_networkx()
+    nodes = list(nx_graph.nodes())
+    if nodes and not all(
+        isinstance(v, (int, np.integer)) and 0 <= v < len(nodes)
+        for v in nodes
+    ):
+        raise ValueError(
+            "node labels must be integers in [0, n); use "
+            "networkx.convert_node_labels_to_integers first"
+        )
+    n = len(nodes)
+    edges = list(nx_graph.edges(data=True))
+    if edges:
+        pairs = np.asarray(
+            [(u, v) for u, v, _ in edges], dtype=VERTEX_DTYPE
+        )
+        if all("weight" in data for _, _, data in edges):
+            weights = np.asarray(
+                [data["weight"] for _, _, data in edges],
+                dtype=WEIGHT_DTYPE,
+            )
+        else:
+            weights = None
+    else:
+        pairs = np.empty((0, 2), dtype=VERTEX_DTYPE)
+        weights = None
+    return from_edge_array(
+        pairs, n, weights=weights, directed=nx_graph.is_directed()
+    )

@@ -1,0 +1,173 @@
+"""Graph file input/output.
+
+GraphCT provides "graph data-file input and output" as part of its
+workflow surface; this module reproduces the useful subset:
+
+* whitespace-separated edge-list text (optionally weighted, ``#`` comments),
+* a binary ``.npz`` snapshot of the CSR arrays (fast reload of built graphs),
+* a DIMACS(9)-style reader (``p sp N M`` header, ``a u v w`` arc lines,
+  1-indexed) because public shortest-path instances ship in it.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.graph.builder import from_edge_array
+from repro.graph.csr import VERTEX_DTYPE, WEIGHT_DTYPE, CSRGraph
+
+__all__ = [
+    "write_edge_list",
+    "read_edge_list",
+    "save_graph",
+    "load_graph",
+    "read_dimacs",
+]
+
+_SNAPSHOT_FORMAT_VERSION = 1
+
+
+def write_edge_list(graph: CSRGraph, path: str | os.PathLike) -> None:
+    """Write unique edges as ``u v [w]`` lines.
+
+    Undirected graphs are written one line per logical edge (u <= v);
+    directed graphs one line per arc.
+    """
+    path = Path(path)
+    src = graph.arc_sources()
+    dst = graph.col_idx
+    w = graph.weights
+    if not graph.directed:
+        keep = src <= dst
+        src, dst = src[keep], dst[keep]
+        if w is not None:
+            w = w[keep]
+    with path.open("w", encoding="ascii") as fh:
+        fh.write(f"# repro edge list: {graph.num_vertices} vertices\n")
+        fh.write(f"# directed={graph.directed} weighted={graph.is_weighted}\n")
+        if w is None:
+            for u, v in zip(src.tolist(), dst.tolist()):
+                fh.write(f"{u} {v}\n")
+        else:
+            for u, v, ww in zip(src.tolist(), dst.tolist(), w.tolist()):
+                fh.write(f"{u} {v} {ww:.17g}\n")
+
+
+def read_edge_list(
+    path: str | os.PathLike,
+    num_vertices: int | None = None,
+    *,
+    directed: bool = False,
+) -> CSRGraph:
+    """Read a ``u v [w]`` edge list (``#`` comments ignored).
+
+    Weighted and unweighted lines must not be mixed.
+    """
+    path = Path(path)
+    sources: list[int] = []
+    targets: list[int] = []
+    weights: list[float] = []
+    weighted: bool | None = None
+    with path.open("r", encoding="ascii") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) == 2:
+                this_weighted = False
+            elif len(parts) == 3:
+                this_weighted = True
+            else:
+                raise ValueError(f"{path}:{lineno}: expected 'u v' or 'u v w'")
+            if weighted is None:
+                weighted = this_weighted
+            elif weighted != this_weighted:
+                raise ValueError(
+                    f"{path}:{lineno}: mixed weighted/unweighted lines"
+                )
+            sources.append(int(parts[0]))
+            targets.append(int(parts[1]))
+            if this_weighted:
+                weights.append(float(parts[2]))
+    edges = np.column_stack(
+        [
+            np.asarray(sources, dtype=VERTEX_DTYPE),
+            np.asarray(targets, dtype=VERTEX_DTYPE),
+        ]
+    ) if sources else np.empty((0, 2), dtype=VERTEX_DTYPE)
+    w = np.asarray(weights, dtype=WEIGHT_DTYPE) if weighted else None
+    return from_edge_array(edges, num_vertices, weights=w, directed=directed)
+
+
+def save_graph(graph: CSRGraph, path: str | os.PathLike) -> None:
+    """Serialize the CSR arrays to a compressed ``.npz`` snapshot."""
+    payload = {
+        "format_version": np.asarray(_SNAPSHOT_FORMAT_VERSION),
+        "row_ptr": graph.row_ptr,
+        "col_idx": graph.col_idx,
+        "directed": np.asarray(graph.directed),
+        "sorted_adjacency": np.asarray(graph.sorted_adjacency),
+    }
+    if graph.weights is not None:
+        payload["weights"] = graph.weights
+    np.savez_compressed(Path(path), **payload)
+
+
+def load_graph(path: str | os.PathLike) -> CSRGraph:
+    """Load a snapshot written by :func:`save_graph`."""
+    with np.load(Path(path)) as data:
+        version = int(data["format_version"])
+        if version != _SNAPSHOT_FORMAT_VERSION:
+            raise ValueError(f"unsupported snapshot version {version}")
+        return CSRGraph(
+            row_ptr=data["row_ptr"],
+            col_idx=data["col_idx"],
+            weights=data["weights"] if "weights" in data.files else None,
+            directed=bool(data["directed"]),
+            sorted_adjacency=bool(data["sorted_adjacency"]),
+        )
+
+
+def read_dimacs(path: str | os.PathLike, *, directed: bool = True) -> CSRGraph:
+    """Read a DIMACS shortest-path instance (``p sp``/``a`` lines, 1-indexed)."""
+    path = Path(path)
+    num_vertices: int | None = None
+    sources: list[int] = []
+    targets: list[int] = []
+    weights: list[float] = []
+    with path.open("r", encoding="ascii") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line[0] == "c":
+                continue
+            parts = line.split()
+            if parts[0] == "p":
+                if len(parts) != 4 or parts[1] != "sp":
+                    raise ValueError(f"{path}:{lineno}: expected 'p sp N M'")
+                num_vertices = int(parts[2])
+            elif parts[0] == "a":
+                if len(parts) != 4:
+                    raise ValueError(f"{path}:{lineno}: expected 'a u v w'")
+                sources.append(int(parts[1]) - 1)
+                targets.append(int(parts[2]) - 1)
+                weights.append(float(parts[3]))
+            else:
+                raise ValueError(f"{path}:{lineno}: unknown record '{parts[0]}'")
+    if num_vertices is None:
+        raise ValueError(f"{path}: missing 'p sp' header")
+    edges = np.column_stack(
+        [
+            np.asarray(sources, dtype=VERTEX_DTYPE),
+            np.asarray(targets, dtype=VERTEX_DTYPE),
+        ]
+    ) if sources else np.empty((0, 2), dtype=VERTEX_DTYPE)
+    return from_edge_array(
+        edges,
+        num_vertices,
+        weights=np.asarray(weights, dtype=WEIGHT_DTYPE) if weights else None,
+        directed=directed,
+    )

@@ -1,0 +1,170 @@
+"""A dynamic (streaming) graph structure, STINGER-lite.
+
+The paper's group built STINGER for "streaming graphs" (§II cites their
+streaming-analytics line, refs [12], [13]).  This module provides the
+minimal dynamic substrate those kernels need: an undirected graph whose
+edges arrive and depart in batches, stored as per-vertex blocked
+adjacency (amortized O(1) insertion, tombstone-free deletion by swap),
+with an O(edges) :meth:`~StreamingGraph.snapshot` into the read-only CSR
+form the static kernels consume.
+
+Unlike :class:`~repro.graph.csr.CSRGraph`, neighbour arrays here are
+*unsorted* — exactly STINGER's trade-off (fast updates, linear scans) —
+so membership tests are O(degree).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.builder import from_edge_array
+from repro.graph.csr import VERTEX_DTYPE, CSRGraph
+
+__all__ = ["StreamingGraph"]
+
+#: Initial per-vertex adjacency capacity; doubles on overflow.
+_INITIAL_CAPACITY = 4
+
+
+class StreamingGraph:
+    """An undirected dynamic graph with batch insert/delete.
+
+    Self loops are rejected; duplicate insertions and deletions of
+    missing edges are no-ops (returning False), so streams with repeats
+    are safe to replay.
+    """
+
+    def __init__(self, num_vertices: int):
+        if num_vertices < 0:
+            raise ValueError("num_vertices must be non-negative")
+        self.num_vertices = num_vertices
+        self._adj = [
+            np.empty(_INITIAL_CAPACITY, dtype=VERTEX_DTYPE)
+            for _ in range(num_vertices)
+        ]
+        self._deg = np.zeros(num_vertices, dtype=np.int64)
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def degree(self, v: int) -> int:
+        self._check(v)
+        return int(self._deg[v])
+
+    def degrees(self) -> np.ndarray:
+        return self._deg.copy()
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Current neighbours of ``v`` (unsorted; a copy)."""
+        self._check(v)
+        return self._adj[v][: self._deg[v]].copy()
+
+    def has_edge(self, u: int, v: int) -> bool:
+        self._check(u)
+        self._check(v)
+        if self._deg[u] > self._deg[v]:
+            u, v = v, u
+        return bool(np.any(self._adj[u][: self._deg[u]] == v))
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def insert_edge(self, u: int, v: int) -> bool:
+        """Insert {u, v}; returns False when it already exists."""
+        self._check(u)
+        self._check(v)
+        if u == v:
+            raise ValueError("self loops are not allowed")
+        if self.has_edge(u, v):
+            return False
+        self._append(u, v)
+        self._append(v, u)
+        self._num_edges += 1
+        return True
+
+    def delete_edge(self, u: int, v: int) -> bool:
+        """Delete {u, v}; returns False when it is absent."""
+        self._check(u)
+        self._check(v)
+        if u == v or not self.has_edge(u, v):
+            return False
+        self._remove(u, v)
+        self._remove(v, u)
+        self._num_edges -= 1
+        return True
+
+    def apply_batch(self, insertions=(), deletions=()) -> tuple[int, int]:
+        """Apply a batch of updates; returns (applied_ins, applied_del).
+
+        Batching is the streaming model of the group's MTAAP papers:
+        updates accumulate and are applied between analysis epochs.
+        """
+        applied_ins = sum(
+            1 for u, v in insertions if self.insert_edge(int(u), int(v))
+        )
+        applied_del = sum(
+            1 for u, v in deletions if self.delete_edge(int(u), int(v))
+        )
+        return applied_ins, applied_del
+
+    # ------------------------------------------------------------------
+    # Conversion
+    # ------------------------------------------------------------------
+    def snapshot(self) -> CSRGraph:
+        """Freeze the current state into a read-only CSR graph."""
+        if self._num_edges == 0:
+            return from_edge_array(
+                np.empty((0, 2), dtype=VERTEX_DTYPE), self.num_vertices
+            )
+        sources = []
+        targets = []
+        for v in range(self.num_vertices):
+            nbrs = self._adj[v][: self._deg[v]]
+            keep = nbrs > v
+            if keep.any():
+                kept = nbrs[keep]
+                sources.append(np.full(kept.size, v, dtype=VERTEX_DTYPE))
+                targets.append(kept)
+        edges = np.column_stack(
+            [np.concatenate(sources), np.concatenate(targets)]
+        )
+        return from_edge_array(edges, self.num_vertices)
+
+    @classmethod
+    def from_csr(cls, graph: CSRGraph) -> "StreamingGraph":
+        """Seed a dynamic graph from a static snapshot."""
+        if graph.directed:
+            raise ValueError("StreamingGraph is undirected")
+        sg = cls(graph.num_vertices)
+        src = graph.arc_sources()
+        keep = src < graph.col_idx
+        for u, v in zip(src[keep].tolist(), graph.col_idx[keep].tolist()):
+            sg.insert_edge(u, v)
+        return sg
+
+    # ------------------------------------------------------------------
+    def _check(self, v: int) -> None:
+        if not 0 <= v < self.num_vertices:
+            raise IndexError(f"vertex {v} out of range [0, {self.num_vertices})")
+
+    def _append(self, u: int, v: int) -> None:
+        block = self._adj[u]
+        if self._deg[u] == block.size:
+            grown = np.empty(max(block.size * 2, 1), dtype=VERTEX_DTYPE)
+            grown[: block.size] = block
+            self._adj[u] = grown
+            block = grown
+        block[self._deg[u]] = v
+        self._deg[u] += 1
+
+    def _remove(self, u: int, v: int) -> None:
+        d = int(self._deg[u])
+        nbrs = self._adj[u][:d]
+        pos = int(np.flatnonzero(nbrs == v)[0])
+        nbrs[pos] = nbrs[d - 1]  # swap with the last live entry
+        self._deg[u] -= 1

@@ -1,0 +1,71 @@
+"""Maximal independent set (greedy shared-memory formulation).
+
+The companion kernel to the BSP Luby implementation in
+:mod:`repro.bsp_algorithms.mis`: the same problem in the two programming
+models the paper contrasts.  The shared-memory kernel is the classic
+greedy sweep — visit vertices in order, add a vertex when no smaller
+neighbour was added — which is exact, deterministic and single-pass, but
+inherently sequential along the vertex order (the lexicographically
+first MIS is P-complete to parallelize).  Luby's randomized rounds are
+the price the parallel model pays; comparing the two is another
+instance of the paper's programming-model trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.runtime.loops import Tracer
+from repro.xmt.calibration import DEFAULT_COSTS, KernelCosts
+from repro.xmt.trace import WorkTrace
+
+__all__ = ["MISResult", "maximal_independent_set"]
+
+
+@dataclass
+class MISResult:
+    """Outcome of a maximal-independent-set computation."""
+
+    #: True where the vertex belongs to the set.
+    in_set: np.ndarray
+    trace: WorkTrace = field(default_factory=WorkTrace)
+
+    @property
+    def size(self) -> int:
+        return int(np.count_nonzero(self.in_set))
+
+
+def maximal_independent_set(
+    graph: CSRGraph,
+    *,
+    costs: KernelCosts = DEFAULT_COSTS,
+) -> MISResult:
+    """Greedy (lexicographically-first) maximal independent set.
+
+    A vertex joins iff none of its smaller-id neighbours joined — one
+    ordered sweep, each edge examined once.
+    """
+    if graph.directed:
+        raise ValueError("MIS requires an undirected graph")
+    n = graph.num_vertices
+    tracer = Tracer(label="graphct/mis")
+    in_set = np.zeros(n, dtype=bool)
+    row_ptr, col_idx = graph.row_ptr, graph.col_idx
+
+    with tracer.region("mis/sweep", items=max(n, 1)) as r:
+        for v in range(n):
+            nbrs = col_idx[row_ptr[v]: row_ptr[v + 1]]
+            smaller = nbrs[nbrs < v]
+            if not in_set[smaller].any():
+                in_set[v] = True
+        r.count(
+            instructions=graph.num_arcs * costs.edge_visit_instructions
+            + n * costs.vertex_touch_instructions,
+            reads=graph.num_arcs + n,
+            writes=int(in_set.sum()),
+        )
+
+    return MISResult(in_set=in_set, trace=tracer.trace)

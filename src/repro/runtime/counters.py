@@ -1,0 +1,76 @@
+"""Flat operation counters.
+
+:class:`OpCounter` is the lowest-level accounting unit: a mutable bag of
+operation counts that functional primitives (full/empty arrays, atomic
+counters, message queues) increment as they are used.  Region recorders
+fold these into :class:`~repro.xmt.trace.RegionTrace` records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["OpCounter"]
+
+
+@dataclass
+class OpCounter:
+    """Mutable counts of machine-visible operations."""
+
+    instructions: float = 0.0
+    reads: float = 0.0
+    writes: float = 0.0
+    atomics: float = 0.0
+
+    def add(
+        self,
+        *,
+        instructions: float = 0.0,
+        reads: float = 0.0,
+        writes: float = 0.0,
+        atomics: float = 0.0,
+    ) -> None:
+        if min(instructions, reads, writes, atomics) < 0:
+            raise ValueError("operation counts must be non-negative")
+        self.instructions += instructions
+        self.reads += reads
+        self.writes += writes
+        self.atomics += atomics
+
+    def merge(self, other: "OpCounter") -> None:
+        """Fold another counter into this one."""
+        self.instructions += other.instructions
+        self.reads += other.reads
+        self.writes += other.writes
+        self.atomics += other.atomics
+
+    def reset(self) -> None:
+        self.instructions = 0.0
+        self.reads = 0.0
+        self.writes = 0.0
+        self.atomics = 0.0
+
+    @property
+    def memory_ops(self) -> float:
+        return self.reads + self.writes + self.atomics
+
+    @property
+    def total(self) -> float:
+        return self.instructions + self.memory_ops
+
+    def snapshot(self) -> "OpCounter":
+        return OpCounter(
+            instructions=self.instructions,
+            reads=self.reads,
+            writes=self.writes,
+            atomics=self.atomics,
+        )
+
+    def delta_since(self, earlier: "OpCounter") -> "OpCounter":
+        """Counts accumulated since ``earlier`` was snapshotted."""
+        return OpCounter(
+            instructions=self.instructions - earlier.instructions,
+            reads=self.reads - earlier.reads,
+            writes=self.writes - earlier.writes,
+            atomics=self.atomics - earlier.atomics,
+        )

@@ -1,0 +1,150 @@
+"""Region tracing for instrumented kernels.
+
+Kernels describe their parallel structure through a :class:`Tracer`:
+
+.. code-block:: python
+
+    tracer = Tracer(label="bfs")
+    with tracer.region("bfs/level", items=frontier.size, iteration=level) as r:
+        ... do the level's work with NumPy ...
+        r.count(reads=edges_examined, writes=newly_marked, instructions=...)
+
+On exit the region is appended to ``tracer.trace`` as a
+:class:`~repro.xmt.trace.RegionTrace`.  The actual computation is ordinary
+vectorized NumPy — the tracer only documents what the equivalent XMT
+parallel loop *would* execute, using exact counts derived from the same
+arrays the kernel just computed with.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+from repro.runtime.counters import OpCounter
+from repro.xmt.trace import RegionTrace, WorkTrace
+
+__all__ = ["RegionRecorder", "Tracer"]
+
+
+class RegionRecorder:
+    """Accumulates operation counts for one open region."""
+
+    def __init__(
+        self,
+        name: str,
+        items: int,
+        kind: str = "loop",
+        iteration: int = -1,
+    ) -> None:
+        self.name = name
+        self.items = int(items)
+        self.kind = kind
+        self.iteration = iteration
+        self._ops = OpCounter()
+        self._atomic_max_site = 0.0
+
+    def count(
+        self,
+        *,
+        instructions: float = 0.0,
+        reads: float = 0.0,
+        writes: float = 0.0,
+        atomics: float = 0.0,
+    ) -> None:
+        """Add operation counts (totals across all items of the region)."""
+        self._ops.add(
+            instructions=instructions, reads=reads, writes=writes, atomics=atomics
+        )
+
+    def count_ops(self, ops: OpCounter) -> None:
+        """Fold a functional primitive's counter into the region."""
+        self._ops.merge(ops)
+
+    def atomics_per_site(self, site_counts: np.ndarray | list | int) -> None:
+        """Account atomics with their per-location distribution.
+
+        ``site_counts[i]`` is the number of fetch-and-adds that hit
+        location ``i``; the hotspot bound uses the maximum.  Passing an
+        ``int`` means that many atomics hit one single location.
+        """
+        if isinstance(site_counts, (int, np.integer)):
+            total = float(site_counts)
+            worst = float(site_counts)
+        else:
+            arr = np.asarray(site_counts, dtype=np.float64)
+            if arr.size == 0:
+                return
+            if arr.min() < 0:
+                raise ValueError("site counts must be non-negative")
+            total = float(arr.sum())
+            worst = float(arr.max())
+        self._ops.add(atomics=total)
+        self._atomic_max_site = max(self._atomic_max_site, worst)
+
+    def finish(self) -> RegionTrace:
+        return RegionTrace(
+            name=self.name,
+            parallel_items=self.items,
+            instructions=self._ops.instructions,
+            reads=self._ops.reads,
+            writes=self._ops.writes,
+            atomics=self._ops.atomics,
+            atomic_max_site=min(self._atomic_max_site, self._ops.atomics),
+            kind=self.kind,
+            iteration=self.iteration,
+        )
+
+
+class Tracer:
+    """Collects the regions of one algorithm execution."""
+
+    def __init__(self, label: str = "") -> None:
+        self.trace = WorkTrace(label=label)
+        self._depth = 0
+
+    @contextmanager
+    def region(
+        self,
+        name: str,
+        *,
+        items: int,
+        kind: str = "loop",
+        iteration: int = -1,
+    ) -> Iterator[RegionRecorder]:
+        """Open a parallel region; on exit its counts join the trace.
+
+        Nested regions are rejected: the XMT compiler flattens loop nests
+        into one level of parallelism, and allowing nesting here would
+        double-count work.
+        """
+        if self._depth:
+            raise RuntimeError(
+                f"region {name!r} opened inside another region; "
+                "parallel regions must not nest"
+            )
+        recorder = RegionRecorder(name, items, kind=kind, iteration=iteration)
+        self._depth += 1
+        try:
+            yield recorder
+        finally:
+            self._depth -= 1
+        self.trace.add(recorder.finish())
+
+    def serial(self, name: str, ops: OpCounter, iteration: int = -1) -> None:
+        """Record a sequential section directly from a counter."""
+        self.trace.add(
+            RegionTrace(
+                name=name,
+                parallel_items=1,
+                instructions=ops.instructions,
+                reads=ops.reads,
+                writes=ops.writes,
+                atomics=ops.atomics,
+                atomic_max_site=ops.atomics,
+                kind="serial",
+                iteration=iteration,
+            )
+        )

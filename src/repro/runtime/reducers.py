@@ -1,0 +1,61 @@
+"""Instrumented parallel reductions.
+
+On the XMT a reduction is a parallel loop whose partial results combine in
+a tree; the compiler emits these for ``reduce`` idioms.  These wrappers
+compute the reduction with NumPy and record its work (one read per element,
+log-depth combine) into an open :class:`~repro.runtime.loops.RegionRecorder`
+when one is supplied.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.runtime.loops import RegionRecorder
+
+__all__ = ["parallel_sum", "parallel_min", "parallel_max", "parallel_argmax"]
+
+
+def _account(recorder: RegionRecorder | None, n: int) -> None:
+    if recorder is not None and n > 0:
+        recorder.count(
+            reads=n,
+            instructions=n + math.ceil(math.log2(n)) if n > 1 else n,
+            writes=1,
+        )
+
+
+def parallel_sum(values: np.ndarray, recorder: RegionRecorder | None = None):
+    """Sum reduction."""
+    values = np.asarray(values)
+    _account(recorder, values.size)
+    return values.sum()
+
+
+def parallel_min(values: np.ndarray, recorder: RegionRecorder | None = None):
+    """Min reduction; raises on empty input like ``np.min``."""
+    values = np.asarray(values)
+    if values.size == 0:
+        raise ValueError("min of empty array")
+    _account(recorder, values.size)
+    return values.min()
+
+
+def parallel_max(values: np.ndarray, recorder: RegionRecorder | None = None):
+    """Max reduction; raises on empty input like ``np.max``."""
+    values = np.asarray(values)
+    if values.size == 0:
+        raise ValueError("max of empty array")
+    _account(recorder, values.size)
+    return values.max()
+
+
+def parallel_argmax(values: np.ndarray, recorder: RegionRecorder | None = None) -> int:
+    """Index of the maximum (ties broken toward the lowest index)."""
+    values = np.asarray(values)
+    if values.size == 0:
+        raise ValueError("argmax of empty array")
+    _account(recorder, values.size)
+    return int(values.argmax())

@@ -1,0 +1,60 @@
+"""Cray XMT machine simulator.
+
+We have no Cray XMT (the paper's 128-processor machine at PNNL was
+decommissioned), so this subpackage substitutes an **analytic machine
+model** of the Threadstorm architecture:
+
+* :mod:`repro.xmt.machine` — the architectural parameters (processors,
+  128 hardware streams per processor, 500 MHz clock, memory latency,
+  hotspot serialization, barrier costs);
+* :mod:`repro.xmt.trace` — work traces: per-parallel-region operation
+  counts recorded by the instrumented kernels;
+* :mod:`repro.xmt.cost_model` — converts a work trace into simulated
+  execution time for any processor count by applying the three bounds the
+  paper reasons with (issue throughput, latency-hiding saturation, and
+  fetch-and-add hotspot serialization);
+* :mod:`repro.xmt.memory` — *functional* simulations of the XMT's
+  synchronization primitives (full/empty bits, atomic fetch-and-add,
+  hashed memory modules) used by reference implementations and tests;
+* :mod:`repro.xmt.calibration` — per-operation instruction-cost constants
+  shared by every kernel, with the rationale for each value.
+
+The kernels execute for real (producing exact per-iteration work counts on
+the actual input graph); only the mapping from work to *time* is modelled.
+This preserves what the paper's evaluation is about — how per-iteration
+parallelism and message overheads interact with a latency-tolerant
+shared-memory machine — without owning the hardware.
+"""
+
+from repro.xmt.cost_model import SimulatedRegion, SimulatedRun, simulate
+from repro.xmt.machine import PNNL_XMT, XMTMachine
+from repro.xmt.mechanistic import (
+    MechanisticPrice,
+    price_region_mechanistically,
+)
+from repro.xmt.memory import (
+    AtomicCounter,
+    FullEmptyArray,
+    HashedMemory,
+    MemoryDeadlockError,
+)
+from repro.xmt.streams import StreamSimulator, StreamWorkload
+from repro.xmt.trace import RegionTrace, WorkTrace
+
+__all__ = [
+    "AtomicCounter",
+    "FullEmptyArray",
+    "HashedMemory",
+    "MechanisticPrice",
+    "MemoryDeadlockError",
+    "PNNL_XMT",
+    "RegionTrace",
+    "SimulatedRegion",
+    "SimulatedRun",
+    "StreamSimulator",
+    "StreamWorkload",
+    "WorkTrace",
+    "XMTMachine",
+    "price_region_mechanistically",
+    "simulate",
+]

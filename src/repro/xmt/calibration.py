@@ -1,0 +1,78 @@
+"""Per-operation instruction costs shared by all instrumented kernels.
+
+These constants translate algorithmic events ("visited an edge",
+"enqueued a message") into the instruction/memory-operation mix the cost
+model prices.  They are *machine-independent kernel accounting*, fixed
+once for the whole suite — no benchmark gets its own fudge factor.  Each
+value notes its rationale; none is calibrated against the paper's absolute
+seconds (the reproduction targets shape and ratios, per DESIGN.md §4).
+
+Rationale sketch for the common case, an edge relaxation in compiled
+XMT-C: load neighbour id, load its state, compare, conditionally store —
+2-3 memory references plus address arithmetic, bounds, and branch
+instructions.  The XMT counts every issue slot, so bookkeeping
+instructions matter as much as ALU work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["KernelCosts", "DEFAULT_COSTS"]
+
+
+@dataclass(frozen=True)
+class KernelCosts:
+    """Instruction-count coefficients for kernel events."""
+
+    #: Plain instructions accompanying each edge examination in a
+    #: shared-memory kernel (index arithmetic, compare, branch).
+    edge_visit_instructions: float = 8.0
+
+    #: Plain instructions per vertex touch (loop iteration setup, state
+    #: load address computation).
+    vertex_touch_instructions: float = 6.0
+
+    #: Instructions to construct and enqueue one BSP message beyond its
+    #: memory traffic: envelope fill, target queue lookup, block index
+    #: arithmetic, overflow checks.  Messages are the BSP model's currency
+    #: and its overhead (paper §VII: the Cray XMT has no native
+    #: enqueue/dequeue support, so the runtime synthesizes queues in
+    #: software — expensive per message).
+    message_enqueue_instructions: float = 48.0
+
+    #: Instructions to receive/dispatch one message in the next superstep
+    #: (dequeue, type dispatch, loop bookkeeping).
+    message_receive_instructions: float = 24.0
+
+    #: Memory writes per enqueued message: payload, sender id, queue slot
+    #: link, and amortized block allocation.
+    message_enqueue_writes: float = 4.0
+
+    #: Memory reads per received message: payload + slot + queue head.
+    message_receive_reads: float = 3.0
+
+    #: Atomic fetch-and-adds per enqueued message (queue tail reservation).
+    message_enqueue_atomics: float = 1.0
+
+    #: Messages sharing one queue-tail counter word.  The runtime shards
+    #: the tail across this many vertices' worth of queues; smaller means
+    #: more counters and less contention.  1024 reflects a block-allocated
+    #: queue like the paper's GraphCT-hosted BSP runtime, where the
+    #: fetch-and-add "is possible, inhibiting scalability" (§VII).
+    message_queue_shard: int = 1024
+
+    #: Instructions per binary-search / merge step in neighbourhood
+    #: intersection (triangle counting).
+    intersection_step_instructions: float = 6.0
+
+    def __post_init__(self) -> None:
+        for name in self.__dataclass_fields__:
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.message_queue_shard < 1:
+            raise ValueError("message_queue_shard must be >= 1")
+
+
+#: The one shared accounting used by every kernel and benchmark.
+DEFAULT_COSTS = KernelCosts()

@@ -1,0 +1,147 @@
+"""The analytic cost model: work trace + machine → simulated time.
+
+Each region's time is the maximum of three bounds, plus fixed overheads —
+exactly the regimes the paper reasons about in §III–§VI:
+
+``issue bound``
+    The XMT retires at most one instruction per processor per cycle when
+    enough streams are ready.  Regions with abundant parallelism are
+    priced here and therefore scale linearly in P (Fig. 1 "even vertical
+    spacing", Fig. 4 linear triangle-counting scaling).
+
+``latency bound``
+    When a region exposes fewer work items than the machine has effective
+    streams, memory latency can no longer be hidden; time degenerates to
+    (serial chain length) x (latency) / (items in flight) and stops
+    depending on P.  This reproduces the flat scaling of the small early /
+    late BFS levels and the BSP tail supersteps (Figs. 1 and 3).
+
+``hotspot bound``
+    Atomic fetch-and-adds to one word are serviced serially by its memory
+    controller.  A region whose atomics pile onto few locations (message
+    queue counters!) is bounded below by ``atomic_max_site x service
+    time`` regardless of P — the contention the paper blames for reduced
+    BSP message-queue scalability (§IV, §VII).
+
+Overheads: every parallel region pays a loop-startup plus a barrier that
+grows with log2(P); BSP supersteps additionally pay the runtime's
+queue-swap/active-set overhead, which dominates near-empty supersteps
+(§IV: "the overhead of the early and late iterations is two orders of
+magnitude larger").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.xmt.machine import XMTMachine
+from repro.xmt.trace import RegionTrace, WorkTrace
+
+__all__ = ["SimulatedRegion", "SimulatedRun", "simulate", "simulate_region"]
+
+
+@dataclass(frozen=True)
+class SimulatedRegion:
+    """Priced execution of one region on one machine configuration."""
+
+    region: RegionTrace
+    issue_cycles: float
+    latency_cycles: float
+    hotspot_cycles: float
+    overhead_cycles: float
+    total_cycles: float
+    seconds: float
+
+    @property
+    def bound(self) -> str:
+        """Which bound determined this region's time (ignoring overhead)."""
+        best = max(self.issue_cycles, self.latency_cycles, self.hotspot_cycles)
+        if best <= 0:
+            return "overhead"
+        if best == self.hotspot_cycles:
+            return "hotspot"
+        if best == self.latency_cycles:
+            return "latency"
+        return "issue"
+
+
+@dataclass
+class SimulatedRun:
+    """Priced execution of a whole trace."""
+
+    machine: XMTMachine
+    regions: list[SimulatedRegion] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(r.seconds for r in self.regions)
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(r.total_cycles for r in self.regions)
+
+    def seconds_by_iteration(self) -> dict[int, float]:
+        """Per-iteration totals — the series Figures 1 and 3 plot."""
+        out: dict[int, float] = {}
+        for r in self.regions:
+            it = r.region.iteration
+            if it >= 0:
+                out[it] = out.get(it, 0.0) + r.seconds
+        return dict(sorted(out.items()))
+
+    def seconds_by_name(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for r in self.regions:
+            out[r.region.name] = out.get(r.region.name, 0.0) + r.seconds
+        return out
+
+
+def simulate_region(region: RegionTrace, machine: XMTMachine) -> SimulatedRegion:
+    """Price one region on one machine configuration."""
+    mem = region.memory_ops
+    instr = region.total_instructions
+
+    if region.kind == "serial" or region.parallel_items <= 1:
+        # Serial section: one stream, full latency on every reference.
+        issue = 0.0
+        latency = region.instructions + mem * (machine.memory_latency_cycles + 1.0)
+        concurrency = 1.0
+    else:
+        concurrency = machine.concurrency(region.parallel_items)
+        # Throughput bound: every instruction occupies one issue slot.
+        issue = instr / machine.issue_bandwidth
+        # Latency bound: each item is a serial dependence chain of its
+        # share of instructions and memory round trips; `concurrency`
+        # chains run in flight simultaneously.
+        per_chain = (
+            region.instructions + mem * (machine.memory_latency_cycles + 1.0)
+        ) / max(region.parallel_items, 1)
+        latency = per_chain * region.parallel_items / concurrency
+
+    hotspot = region.atomic_max_site * machine.atomic_service_cycles
+
+    overhead = 0.0
+    if region.kind != "serial":
+        overhead = machine.loop_startup_cycles + machine.barrier_cycles()
+    if region.kind == "superstep":
+        overhead += machine.superstep_overhead_cycles
+
+    total = max(issue, latency, hotspot) + overhead
+    return SimulatedRegion(
+        region=region,
+        issue_cycles=issue,
+        latency_cycles=latency,
+        hotspot_cycles=hotspot,
+        overhead_cycles=overhead,
+        total_cycles=total,
+        seconds=machine.seconds(total),
+    )
+
+
+def simulate(trace: WorkTrace, machine: XMTMachine) -> SimulatedRun:
+    """Price a whole trace; regions execute back to back (the kernels'
+    parallel regions are separated by barriers on the real machine)."""
+    run = SimulatedRun(machine=machine)
+    for region in trace:
+        run.regions.append(simulate_region(region, machine))
+    return run

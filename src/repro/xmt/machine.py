@@ -1,0 +1,129 @@
+"""Architectural parameters of the simulated Cray XMT.
+
+Values follow the machine the paper used — the 128-processor Cray XMT at
+Pacific Northwest National Laboratory: Threadstorm processors at 500 MHz
+with 128 hardware streams each (over 12 thousand thread contexts at full
+configuration), a 1 TiB globally shared memory whose addresses are hashed
+across memory modules, full/empty-bit synchronization and atomic
+fetch-and-add.  See Konecny, "Introducing the Cray XMT" (CUG 2007) and the
+paper's §II.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+__all__ = ["XMTMachine", "PNNL_XMT"]
+
+
+@dataclass(frozen=True)
+class XMTMachine:
+    """A Cray XMT configuration for the analytic cost model.
+
+    Parameters
+    ----------
+    num_processors:
+        Threadstorm processor count (the paper sweeps 8..128).
+    streams_per_processor:
+        Hardware thread contexts per processor; the XMT's latency tolerance
+        comes entirely from switching among these each cycle.
+    clock_hz:
+        500 MHz Threadstorm clock.
+    memory_latency_cycles:
+        Round-trip latency of a memory reference through the hashed global
+        memory (network + DRAM).  ~600 cycles at 500 MHz is the commonly
+        cited ballpark for the XMT's remote reference latency (~1.2 us).
+    stream_utilization:
+        Fraction of streams that hold *ready* instructions on an irregular
+        workload.  Loop scheduling, trap handling, and dependence stalls
+        keep this well below 1; 0.5 reproduces the paper's observation that
+        saturation needs active sets several times ``P * streams``.
+    atomic_service_cycles:
+        Serialization delay between two atomic fetch-and-adds targeting the
+        *same word*: the memory controller retires them one at a time.
+        This is the paper's hotspot hazard (§VII: serialization around a
+        single fetch-and-add inhibits scalability).
+    loop_startup_cycles:
+        Fixed cost to launch a parallel loop region (compiler runtime
+        spawns/joins stream teams).
+    barrier_cycles_per_log2p:
+        Barrier cost grows with the log of the processor count (tree
+        barrier through the hashed memory).
+    superstep_overhead_cycles:
+        Extra per-superstep cost charged to BSP regions: queue swap,
+        active-set rebuild and the full runtime barrier.  The paper finds
+        near-empty BSP supersteps cost two orders of magnitude more than
+        their useful work — this constant is that floor.
+    """
+
+    num_processors: int = 128
+    streams_per_processor: int = 128
+    clock_hz: float = 500e6
+    memory_latency_cycles: float = 600.0
+    stream_utilization: float = 0.5
+    atomic_service_cycles: float = 24.0
+    loop_startup_cycles: float = 3_000.0
+    barrier_cycles_per_log2p: float = 2_000.0
+    superstep_overhead_cycles: float = 250_000.0
+
+    def __post_init__(self) -> None:
+        if self.num_processors < 1:
+            raise ValueError("num_processors must be >= 1")
+        if self.streams_per_processor < 1:
+            raise ValueError("streams_per_processor must be >= 1")
+        if self.clock_hz <= 0:
+            raise ValueError("clock_hz must be positive")
+        if not 0.0 < self.stream_utilization <= 1.0:
+            raise ValueError("stream_utilization must be in (0, 1]")
+        for field_name in (
+            "memory_latency_cycles",
+            "atomic_service_cycles",
+            "loop_startup_cycles",
+            "barrier_cycles_per_log2p",
+            "superstep_overhead_cycles",
+        ):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"{field_name} must be non-negative")
+
+    # ------------------------------------------------------------------
+    @property
+    def total_streams(self) -> int:
+        """Hardware thread contexts across the machine."""
+        return self.num_processors * self.streams_per_processor
+
+    @property
+    def effective_streams(self) -> float:
+        """Streams expected to hold ready instructions at any cycle."""
+        return self.total_streams * self.stream_utilization
+
+    @property
+    def issue_bandwidth(self) -> float:
+        """Machine-wide instruction issue rate (instructions / cycle):
+        one instruction per processor per cycle, the XMT's headline
+        property when enough streams are ready."""
+        return float(self.num_processors)
+
+    def concurrency(self, parallel_items: float) -> float:
+        """Work items that can be in flight simultaneously."""
+        if parallel_items <= 0:
+            return 1.0
+        return min(float(parallel_items), max(self.effective_streams, 1.0))
+
+    def barrier_cycles(self) -> float:
+        """Cost of one full-machine barrier."""
+        return self.barrier_cycles_per_log2p * math.log2(
+            max(self.num_processors, 2)
+        )
+
+    def with_processors(self, num_processors: int) -> "XMTMachine":
+        """Same machine at a different processor count (for P sweeps)."""
+        return replace(self, num_processors=num_processors)
+
+    def seconds(self, cycles: float) -> float:
+        """Convert a cycle count to wall-clock seconds."""
+        return cycles / self.clock_hz
+
+
+#: The machine in the paper: the 128-processor, 1 TiB Cray XMT at PNNL.
+PNNL_XMT = XMTMachine(num_processors=128)

@@ -1,0 +1,200 @@
+"""Functional simulation of Cray XMT memory semantics.
+
+The XMT's defining synchronization features (paper §II) are:
+
+* **full/empty bits** — every 64-bit word carries a tag bit; ``readfe``
+  blocks until the word is *full*, returns it and marks it *empty*, while
+  ``writeef`` blocks until *empty*, stores and marks *full*.  These give
+  fine-grained producer/consumer synchronization without locks.
+* **atomic fetch-and-add** — ``int_fetch_add`` returns the old value and
+  adds atomically; it is the idiom for parallel queue tails and counters.
+* **hashed global memory** — addresses are scrambled across memory modules
+  to spread hot blocks, though a *single word* still lives in one module
+  (which is why single-counter hotspots serialize).
+
+This module reproduces those semantics *functionally* for the reference
+(non-vectorized) kernels and the BSP runtime, with instrumentation hooks
+so the cost model can see the operation mix.  Execution here is sequential
+Python, so "blocking" on an unavailable full/empty state is a programming
+error (it would deadlock a sequential schedule) and raises
+:class:`MemoryDeadlockError` — which is itself faithful: the same access
+pattern deadlocks on real hardware when no other thread can run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.counters import OpCounter
+
+__all__ = [
+    "MemoryDeadlockError",
+    "FullEmptyArray",
+    "AtomicCounter",
+    "HashedMemory",
+]
+
+
+class MemoryDeadlockError(RuntimeError):
+    """A full/empty access blocked forever under a sequential schedule."""
+
+
+class FullEmptyArray:
+    """An array of words with full/empty tag bits.
+
+    Implements the XMT generic operations the paper's kernels rely on:
+    ``readff`` (read when full, leave full), ``readfe`` (read when full,
+    set empty), ``writeef`` (write when empty, set full), and the
+    unconditional ``purge`` / ``write_xf``.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        fill: float | int = 0,
+        *,
+        initially_full: bool = True,
+        counter: OpCounter | None = None,
+        dtype=np.int64,
+    ) -> None:
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        self._values = np.full(size, fill, dtype=dtype)
+        self._full = np.full(size, initially_full, dtype=bool)
+        self.counter = counter if counter is not None else OpCounter()
+
+    def __len__(self) -> int:
+        return self._values.size
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self._values.size:
+            raise IndexError(f"index {index} out of range")
+
+    def is_full(self, index: int) -> bool:
+        self._check(index)
+        return bool(self._full[index])
+
+    def readff(self, index: int):
+        """Read when full; leaves the bit full (ordinary synchronized load)."""
+        self._check(index)
+        self.counter.reads += 1
+        if not self._full[index]:
+            raise MemoryDeadlockError(
+                f"readff on empty word {index}: no producer can run"
+            )
+        return self._values[index].item()
+
+    def readfe(self, index: int):
+        """Read when full; sets the bit empty (consume)."""
+        self._check(index)
+        self.counter.reads += 1
+        if not self._full[index]:
+            raise MemoryDeadlockError(
+                f"readfe on empty word {index}: no producer can run"
+            )
+        self._full[index] = False
+        return self._values[index].item()
+
+    def writeef(self, index: int, value) -> None:
+        """Write when empty; sets the bit full (produce)."""
+        self._check(index)
+        self.counter.writes += 1
+        if self._full[index]:
+            raise MemoryDeadlockError(
+                f"writeef on full word {index}: no consumer can run"
+            )
+        self._values[index] = value
+        self._full[index] = True
+
+    def write_xf(self, index: int, value) -> None:
+        """Unconditional write; sets the bit full."""
+        self._check(index)
+        self.counter.writes += 1
+        self._values[index] = value
+        self._full[index] = True
+
+    def purge(self, index: int) -> None:
+        """Set the bit empty without reading (XMT ``purge``)."""
+        self._check(index)
+        self.counter.writes += 1
+        self._full[index] = False
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the current values (test/debug helper)."""
+        return self._values.copy()
+
+
+class AtomicCounter:
+    """An ``int_fetch_add`` word, instrumented for hotspot accounting."""
+
+    def __init__(self, initial: int = 0, *, counter: OpCounter | None = None):
+        self._value = int(initial)
+        self.counter = counter if counter is not None else OpCounter()
+        #: number of fetch-and-adds served — by definition all on one
+        #: location, so this *is* the hotspot depth of this counter.
+        self.contended_ops = 0
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def fetch_add(self, delta: int = 1) -> int:
+        """Atomically add ``delta``; returns the previous value."""
+        old = self._value
+        self._value += int(delta)
+        self.counter.atomics += 1
+        self.contended_ops += 1
+        return old
+
+    def reset(self, value: int = 0) -> None:
+        self._value = int(value)
+        self.contended_ops = 0
+
+
+class HashedMemory:
+    """Model of the XMT's address scrambling across memory modules.
+
+    The machine hashes physical addresses so consecutive words land in
+    different modules, destroying locality on purpose (paper §II: "memory
+    addresses are hashed globally to break up locality and reduce
+    hot-spotting").  This class exposes that mapping and per-module load
+    accounting, used by tests and the ablation bench to show why scattered
+    traffic balances while a single hot word still serializes.
+    """
+
+    #: Multiplier of a 64-bit multiplicative hash (splitmix64 finalizer).
+    _MIX = 0x9E3779B97F4A7C15
+
+    def __init__(self, num_modules: int = 128, *, seed: int = 0):
+        if num_modules < 1:
+            raise ValueError("num_modules must be >= 1")
+        self.num_modules = num_modules
+        self._seed = np.uint64(seed)
+        self.module_loads = np.zeros(num_modules, dtype=np.int64)
+
+    def module_of(self, address: int | np.ndarray) -> np.ndarray | int:
+        """Memory module serving ``address`` (vectorized)."""
+        a = np.asarray(address, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            x = (a + self._seed) * np.uint64(self._MIX)
+            x ^= x >> np.uint64(31)
+            x *= np.uint64(0xBF58476D1CE4E5B9)
+            x ^= x >> np.uint64(27)
+        mod = (x % np.uint64(self.num_modules)).astype(np.int64)
+        return int(mod) if np.isscalar(address) or mod.ndim == 0 else mod
+
+    def record_accesses(self, addresses: np.ndarray) -> None:
+        """Account a batch of word accesses to their modules."""
+        modules = np.atleast_1d(self.module_of(addresses))
+        np.add.at(self.module_loads, modules, 1)
+
+    def load_imbalance(self) -> float:
+        """max/mean module load; 1.0 is perfectly balanced."""
+        total = self.module_loads.sum()
+        if total == 0:
+            return 1.0
+        mean = total / self.num_modules
+        return float(self.module_loads.max() / mean)
+
+    def reset(self) -> None:
+        self.module_loads[:] = 0

@@ -1,0 +1,153 @@
+"""Cycle-level simulation of one Threadstorm processor's streams.
+
+The XMT's defining mechanism (paper §II): each processor holds 128
+hardware **streams**; a stream that issues a memory reference blocks for
+the full memory round trip, and "the processor will execute one
+instruction per cycle from hardware streams that have instructions ready
+to execute".  Latency is tolerated *entirely* by switching streams.
+
+The analytic cost model (:mod:`repro.xmt.cost_model`) summarizes this as
+a saturation law — full issue rate once enough independent work items
+are in flight, a latency-dominated regime below that.  This module
+simulates the mechanism directly (instruction by instruction, exact
+issue cycles) so the test suite can *validate* the law instead of
+assuming it: utilization measured here saturates at exactly the
+stream-count the model predicts, and the latency-bound regime matches
+the ``(instructions + mem x latency) / concurrency`` formula.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+__all__ = ["StreamWorkload", "StreamSimResult", "StreamSimulator"]
+
+
+@dataclass(frozen=True)
+class StreamWorkload:
+    """Per-stream instruction mix.
+
+    Every stream executes ``instructions`` instructions; one in
+    ``memory_period`` is a memory reference (blocking the stream for the
+    memory latency), the rest are single-cycle ALU operations.  A
+    ``memory_period`` of 1 makes every instruction a memory reference.
+    """
+
+    instructions: int
+    memory_period: int = 3
+
+    def __post_init__(self) -> None:
+        if self.instructions < 0:
+            raise ValueError("instructions must be non-negative")
+        if self.memory_period < 1:
+            raise ValueError("memory_period must be >= 1")
+
+    def is_memory(self, index: int) -> bool:
+        """Whether instruction ``index`` (0-based) references memory."""
+        return index % self.memory_period == self.memory_period - 1
+
+    @property
+    def memory_references(self) -> int:
+        """Memory instructions per stream."""
+        return self.instructions // self.memory_period
+
+
+@dataclass(frozen=True)
+class StreamSimResult:
+    """Outcome of a stream-scheduler simulation."""
+
+    cycles: int
+    instructions_issued: int
+    num_streams: int
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of cycles with an instruction issued (<= 1)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.instructions_issued / self.cycles
+
+    @property
+    def effective_ipc(self) -> float:
+        return self.utilization
+
+
+class StreamSimulator:
+    """One Threadstorm processor: N streams, one issue slot per cycle."""
+
+    def __init__(self, num_streams: int = 128,
+                 memory_latency_cycles: int = 600):
+        if num_streams < 1:
+            raise ValueError("num_streams must be >= 1")
+        if memory_latency_cycles < 1:
+            raise ValueError("memory_latency_cycles must be >= 1")
+        self.num_streams = num_streams
+        self.memory_latency_cycles = memory_latency_cycles
+
+    def run(self, workload: StreamWorkload) -> StreamSimResult:
+        """Simulate all streams executing ``workload`` to completion.
+
+        Issue policy: each cycle, the ready stream that became ready
+        earliest issues (ties by stream id) — the fair round-robin-like
+        behaviour of the hardware.  Event-driven: cost is O(total
+        instructions x log streams), not O(cycles).
+        """
+        total = workload.instructions * self.num_streams
+        if total == 0:
+            return StreamSimResult(
+                cycles=0, instructions_issued=0,
+                num_streams=self.num_streams,
+            )
+        # Heap of (ready_cycle, stream_id, next_instruction_index).
+        heap: list[tuple[int, int, int]] = [
+            (0, s, 0) for s in range(self.num_streams)
+        ]
+        heapq.heapify(heap)
+        clock = -1  # last issue cycle
+        issued = 0
+        last_completion = 0
+        while heap:
+            ready, stream, pc = heapq.heappop(heap)
+            issue_at = max(clock + 1, ready)
+            clock = issue_at
+            issued += 1
+            cost = (
+                self.memory_latency_cycles
+                if workload.is_memory(pc)
+                else 1
+            )
+            completion = issue_at + cost
+            last_completion = max(last_completion, completion)
+            if pc + 1 < workload.instructions:
+                heapq.heappush(heap, (completion, stream, pc + 1))
+        return StreamSimResult(
+            cycles=last_completion,
+            instructions_issued=issued,
+            num_streams=self.num_streams,
+        )
+
+    def utilization_curve(
+        self, workload: StreamWorkload, stream_counts: list[int]
+    ) -> dict[int, float]:
+        """Measured utilization for a sweep of stream counts."""
+        out: dict[int, float] = {}
+        for count in stream_counts:
+            sim = StreamSimulator(
+                num_streams=count,
+                memory_latency_cycles=self.memory_latency_cycles,
+            )
+            out[count] = sim.run(workload).utilization
+        return out
+
+    def saturation_streams(self, workload: StreamWorkload) -> float:
+        """Streams needed for full issue rate, per the analytic law.
+
+        A stream is blocked for ``memory_latency`` cycles out of every
+        ``memory_period`` issued instructions, so it occupies the issue
+        slot a fraction ``memory_period / (memory_period - 1 +
+        latency)`` of the time; the reciprocal is the stream count that
+        saturates the processor.
+        """
+        p = workload.memory_period
+        return (p - 1 + self.memory_latency_cycles) / p

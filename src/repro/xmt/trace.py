@@ -1,0 +1,222 @@
+"""Work traces: what an instrumented kernel did, region by region.
+
+A *region* is one parallel construct — a parallel loop in the GraphCT
+kernels, or one phase of a BSP superstep.  The instrumented kernels record,
+per region, the operation counts the cost model needs: independent work
+items (available parallelism), instructions, memory reads/writes, atomic
+fetch-and-adds and the worst per-location atomic count (hotspot pressure).
+
+Traces are machine-independent: one algorithm execution yields one trace,
+which the cost model can then price for any processor count.  This is what
+makes the paper's processor sweeps affordable — the algorithm runs once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator
+
+__all__ = ["RegionTrace", "WorkTrace"]
+
+
+@dataclass(frozen=True)
+class RegionTrace:
+    """Operation counts for one parallel region.
+
+    Parameters
+    ----------
+    name:
+        Region identifier, e.g. ``"bfs/level"`` or ``"cc/superstep"``.
+    parallel_items:
+        Number of independent work items the region exposes — the
+        parallelism available to the machine (frontier size, active-vertex
+        count, edge count...).  This is the quantity the paper's
+        scalability analysis revolves around.
+    instructions:
+        Non-memory instructions executed across all items.
+    reads / writes:
+        Memory references (each costs a round trip unless hidden).
+    atomics:
+        Atomic fetch-and-add operations (counted separately because they
+        also serialize per location).
+    atomic_max_site:
+        Largest number of atomics aimed at a single memory word — the
+        hotspot depth.  0 when the region performs no atomics.
+    kind:
+        ``"loop"`` for plain parallel loops, ``"superstep"`` for BSP
+        supersteps (which carry extra runtime overhead), ``"serial"`` for
+        sequential sections.
+    iteration:
+        Iteration / superstep / BFS-level index the region belongs to, or
+        -1 when not applicable.  Figures 1-3 group regions by this.
+    """
+
+    name: str
+    parallel_items: int
+    instructions: float = 0.0
+    reads: float = 0.0
+    writes: float = 0.0
+    atomics: float = 0.0
+    atomic_max_site: float = 0.0
+    kind: str = "loop"
+    iteration: int = -1
+
+    _KINDS = ("loop", "superstep", "serial")
+
+    def __post_init__(self) -> None:
+        if self.parallel_items < 0:
+            raise ValueError("parallel_items must be non-negative")
+        for f in ("instructions", "reads", "writes", "atomics", "atomic_max_site"):
+            if getattr(self, f) < 0:
+                raise ValueError(f"{f} must be non-negative")
+        if self.atomic_max_site > self.atomics:
+            raise ValueError("atomic_max_site cannot exceed total atomics")
+        if self.kind not in self._KINDS:
+            raise ValueError(f"kind must be one of {self._KINDS}")
+
+    @property
+    def memory_ops(self) -> float:
+        """All memory references (reads + writes + atomics)."""
+        return self.reads + self.writes + self.atomics
+
+    @property
+    def total_instructions(self) -> float:
+        """Everything that occupies an issue slot."""
+        return self.instructions + self.memory_ops
+
+    def scaled(self, factor: float) -> "RegionTrace":
+        """Multiply all operation counts (and parallelism) by ``factor``.
+
+        Used to extrapolate measured miniature-scale work to the paper's
+        graph size; self-similarity of RMAT makes per-iteration work scale
+        approximately linearly in edge count.
+        """
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return replace(
+            self,
+            parallel_items=max(int(round(self.parallel_items * factor)), 1)
+            if self.parallel_items
+            else 0,
+            instructions=self.instructions * factor,
+            reads=self.reads * factor,
+            writes=self.writes * factor,
+            atomics=self.atomics * factor,
+            atomic_max_site=self.atomic_max_site * factor,
+        )
+
+
+@dataclass
+class WorkTrace:
+    """An ordered list of region traces for one algorithm execution."""
+
+    regions: list[RegionTrace] = field(default_factory=list)
+    label: str = ""
+
+    def add(self, region: RegionTrace) -> None:
+        self.regions.append(region)
+
+    def extend(self, regions: Iterable[RegionTrace]) -> None:
+        self.regions.extend(regions)
+
+    def __iter__(self) -> Iterator[RegionTrace]:
+        return iter(self.regions)
+
+    def __len__(self) -> int:
+        return len(self.regions)
+
+    # ------------------------------------------------------------------
+    # Aggregations used by experiments and EXPERIMENTS.md accounting
+    # ------------------------------------------------------------------
+    @property
+    def total_reads(self) -> float:
+        return sum(r.reads for r in self.regions)
+
+    @property
+    def total_writes(self) -> float:
+        return sum(r.writes for r in self.regions)
+
+    @property
+    def total_atomics(self) -> float:
+        return sum(r.atomics for r in self.regions)
+
+    @property
+    def total_instructions(self) -> float:
+        return sum(r.total_instructions for r in self.regions)
+
+    def iterations(self) -> list[int]:
+        """Sorted distinct iteration indices present in the trace."""
+        return sorted({r.iteration for r in self.regions if r.iteration >= 0})
+
+    def for_iteration(self, iteration: int) -> "WorkTrace":
+        """Sub-trace of regions belonging to one iteration/superstep."""
+        return WorkTrace(
+            regions=[r for r in self.regions if r.iteration == iteration],
+            label=self.label,
+        )
+
+    def by_name(self, name: str) -> "WorkTrace":
+        """Sub-trace of regions with a given name."""
+        return WorkTrace(
+            regions=[r for r in self.regions if r.name == name],
+            label=self.label,
+        )
+
+    def scaled(self, factor: float) -> "WorkTrace":
+        """Extrapolate every region (see :meth:`RegionTrace.scaled`)."""
+        return WorkTrace(
+            regions=[r.scaled(factor) for r in self.regions], label=self.label
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization — traces are the interface between one algorithm
+    # execution and any number of machine sweeps, so they persist.
+    # ------------------------------------------------------------------
+    _FORMAT_VERSION = 1
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation."""
+        return {
+            "format_version": self._FORMAT_VERSION,
+            "label": self.label,
+            "regions": [
+                {
+                    "name": r.name,
+                    "parallel_items": r.parallel_items,
+                    "instructions": r.instructions,
+                    "reads": r.reads,
+                    "writes": r.writes,
+                    "atomics": r.atomics,
+                    "atomic_max_site": r.atomic_max_site,
+                    "kind": r.kind,
+                    "iteration": r.iteration,
+                }
+                for r in self.regions
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkTrace":
+        """Inverse of :meth:`to_dict`; validates the format version."""
+        version = data.get("format_version")
+        if version != cls._FORMAT_VERSION:
+            raise ValueError(f"unsupported trace version {version!r}")
+        return cls(
+            regions=[RegionTrace(**r) for r in data["regions"]],
+            label=data.get("label", ""),
+        )
+
+    def save(self, path) -> None:
+        """Write the trace as JSON."""
+        import json
+
+        with open(path, "w", encoding="ascii") as fh:
+            json.dump(self.to_dict(), fh, indent=1)
+
+    @classmethod
+    def load(cls, path) -> "WorkTrace":
+        """Read a trace written by :meth:`save`."""
+        import json
+
+        with open(path, "r", encoding="ascii") as fh:
+            return cls.from_dict(json.load(fh))

@@ -1,0 +1,34 @@
+"""Shared fixtures: small deterministic graphs and networkx oracles."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph import from_edge_list, rmat
+
+
+@pytest.fixture(scope="session")
+def small_rmat():
+    """A scale-10 RMAT miniature shared by kernel cross-validation tests."""
+    return rmat(scale=10, edge_factor=16, seed=1)
+
+
+@pytest.fixture(scope="session")
+def small_rmat_nx(small_rmat):
+    """networkx oracle view of :func:`small_rmat`."""
+    g = nx.Graph(list(small_rmat.edges()))
+    g.add_nodes_from(range(small_rmat.num_vertices))
+    return g
+
+
+@pytest.fixture
+def two_triangles():
+    """Two triangles sharing vertex 2 (bowtie): 2 triangles, known CCs."""
+    return from_edge_list([(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)])
+
+
+def to_networkx(graph):
+    g = nx.DiGraph() if graph.directed else nx.Graph()
+    g.add_nodes_from(range(graph.num_vertices))
+    g.add_edges_from(graph.edges())
+    return g

@@ -1,0 +1,87 @@
+"""Tests for BSP betweenness centrality."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bsp_algorithms import bsp_betweenness_centrality
+from repro.graph import from_edge_list, path_graph, ring_graph, star_graph
+from repro.graphct import betweenness_centrality
+
+
+class TestCorrectness:
+    def test_matches_shared_memory_exact(self, small_rmat):
+        shm = betweenness_centrality(small_rmat)
+        bsp = bsp_betweenness_centrality(small_rmat)
+        assert np.allclose(shm.scores, bsp.scores)
+        assert bsp.exact
+
+    def test_path_center_dominates(self):
+        res = bsp_betweenness_centrality(path_graph(7))
+        assert int(np.argmax(res.scores)) == 3
+        assert res.scores[0] == 0 and res.scores[6] == 0
+
+    def test_star_hub(self):
+        res = bsp_betweenness_centrality(star_graph(8))
+        assert res.scores[0] > 0
+        assert np.all(res.scores[1:] == 0)
+
+    def test_ring_uniform(self):
+        res = bsp_betweenness_centrality(ring_graph(9))
+        assert np.allclose(res.scores, res.scores[0])
+
+    def test_sampled_scaling(self, small_rmat):
+        exact = bsp_betweenness_centrality(small_rmat)
+        approx = bsp_betweenness_centrality(
+            small_rmat, num_sources=128, seed=3
+        )
+        assert not approx.exact
+        top = int(np.argmax(exact.scores))
+        rank = int((approx.scores >= approx.scores[top]).sum())
+        assert rank <= small_rmat.num_vertices // 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bsp_betweenness_centrality(ring_graph(4), num_sources=0)
+        with pytest.raises(ValueError):
+            bsp_betweenness_centrality(ring_graph(4), num_sources=9)
+
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_shared_memory(self, data):
+        n = data.draw(st.integers(min_value=2, max_value=12))
+        m = data.draw(st.integers(min_value=0, max_value=30))
+        edges = data.draw(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=n - 1),
+                    st.integers(min_value=0, max_value=n - 1),
+                ),
+                min_size=m, max_size=m,
+            )
+        )
+        g = from_edge_list(edges, n)
+        shm = betweenness_centrality(g)
+        bsp = bsp_betweenness_centrality(g)
+        assert np.allclose(shm.scores, bsp.scores)
+
+
+class TestSuperstepAccounting:
+    def test_waves_recorded(self):
+        res = bsp_betweenness_centrality(path_graph(4), num_sources=1,
+                                         seed=0)
+        # One source on a path: forward wave + backward wave supersteps.
+        assert res.num_supersteps == len(res.messages_per_superstep)
+        assert len(res.trace) == res.num_supersteps
+        assert all(r.kind == "superstep" for r in res.trace)
+
+    def test_forward_messages_bound_by_arcs_per_level(self, small_rmat):
+        res = bsp_betweenness_centrality(small_rmat, num_sources=4, seed=2)
+        assert all(
+            m <= small_rmat.num_arcs for m in res.messages_per_superstep
+        )
+
+    def test_scores_nonnegative(self, small_rmat):
+        res = bsp_betweenness_centrality(small_rmat, num_sources=16, seed=5)
+        assert (res.scores >= -1e-9).all()

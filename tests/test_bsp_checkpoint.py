@@ -1,0 +1,263 @@
+"""Tests for BSP checkpointing and failure recovery.
+
+The Pregel guarantee under test: a computation killed mid-run and
+resumed from its last superstep-boundary checkpoint produces results
+identical to an uninterrupted run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bsp import (
+    BSPEngine,
+    Checkpoint,
+    CheckpointStore,
+    MinCombiner,
+    SumAggregator,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.bsp_algorithms import BSPConnectedComponents, BSPBreadthFirstSearch
+from repro.graph import from_edge_list, path_graph, ring_graph, rmat
+
+
+class CrashError(RuntimeError):
+    pass
+
+
+class CrashingCC(BSPConnectedComponents):
+    """Connected components that dies when first reaching a superstep."""
+
+    def __init__(self, crash_at: int):
+        self.crash_at = crash_at
+        self.armed = True
+
+    def compute(self, ctx, messages):
+        if self.armed and ctx.superstep == self.crash_at:
+            raise CrashError(f"injected failure at superstep {ctx.superstep}")
+        super().compute(ctx, messages)
+
+
+@pytest.fixture(scope="module")
+def crash_graph():
+    return rmat(scale=7, edge_factor=8, seed=5)
+
+
+def run_with_recovery(graph, crash_at, checkpoint_every):
+    """Run CrashingCC to the injected failure, then resume to the end."""
+    store = CheckpointStore()
+    program = CrashingCC(crash_at)
+    engine = BSPEngine(graph)
+    with pytest.raises(CrashError):
+        engine.run(
+            program,
+            checkpoint_every=checkpoint_every,
+            checkpoint_store=store,
+        )
+    assert store.latest is not None, "failure before the first checkpoint"
+    program.armed = False  # the retry does not hit the same fault
+    return engine.run(program, resume_from=store.latest), store
+
+
+class TestFailureRecovery:
+    @pytest.mark.parametrize("crash_at,every", [(2, 1), (3, 2), (4, 3)])
+    def test_recovered_run_matches_clean_run(
+        self, crash_graph, crash_at, every
+    ):
+        clean = BSPEngine(crash_graph).run(BSPConnectedComponents())
+        recovered, _ = run_with_recovery(crash_graph, crash_at, every)
+        assert recovered.values == clean.values
+        assert recovered.num_supersteps == clean.num_supersteps
+        assert (
+            recovered.messages_per_superstep == clean.messages_per_superstep
+        )
+        assert recovered.active_per_superstep == clean.active_per_superstep
+
+    def test_trace_covers_only_replayed_supersteps(self, crash_graph):
+        clean = BSPEngine(crash_graph).run(BSPConnectedComponents())
+        recovered, store = run_with_recovery(crash_graph, 3, 2)
+        resumed_at = store.latest.superstep
+        assert len(recovered.trace) == clean.num_supersteps - resumed_at
+
+    def test_crash_before_first_checkpoint_is_unrecoverable(self):
+        g = ring_graph(8)
+        store = CheckpointStore()
+        with pytest.raises(CrashError):
+            BSPEngine(g).run(
+                CrashingCC(1), checkpoint_every=3, checkpoint_store=store
+            )
+        assert store.latest is None
+
+    def test_recovery_with_combiner(self, crash_graph):
+        clean = BSPEngine(crash_graph, combiner=MinCombiner()).run(
+            BSPConnectedComponents()
+        )
+        store = CheckpointStore()
+        program = CrashingCC(2)
+        engine = BSPEngine(crash_graph, combiner=MinCombiner())
+        with pytest.raises(CrashError):
+            engine.run(program, checkpoint_every=1, checkpoint_store=store)
+        program.armed = False
+        recovered = engine.run(program, resume_from=store.latest)
+        assert recovered.values == clean.values
+
+
+class TestCheckpointMechanics:
+    def test_checkpoint_cadence(self, crash_graph):
+        store = CheckpointStore(retain=100)
+        res = BSPEngine(crash_graph).run(
+            BSPConnectedComponents(),
+            checkpoint_every=2,
+            checkpoint_store=store,
+        )
+        expected = (res.num_supersteps - 1) // 2
+        assert len(store) == expected
+
+    def test_store_retention(self):
+        store = CheckpointStore(retain=2)
+        for s in range(5):
+            store.save(
+                Checkpoint(
+                    superstep=s, values=[0], halted=np.zeros(1, bool),
+                    pending=[],
+                )
+            )
+        assert len(store) == 2
+        assert store.latest.superstep == 4
+
+    def test_store_validation(self):
+        with pytest.raises(ValueError):
+            CheckpointStore(retain=0)
+
+    def test_checkpoint_validation(self):
+        with pytest.raises(ValueError):
+            Checkpoint(
+                superstep=-1, values=[], halted=np.zeros(0, bool), pending=[]
+            )
+        with pytest.raises(ValueError, match="parallel"):
+            Checkpoint(
+                superstep=0, values=[1, 2], halted=np.zeros(1, bool),
+                pending=[],
+            )
+
+    def test_checkpoint_every_requires_store(self):
+        with pytest.raises(ValueError, match="checkpoint_store"):
+            BSPEngine(ring_graph(4)).run(
+                BSPConnectedComponents(), checkpoint_every=1
+            )
+
+    def test_checkpoint_every_validated(self):
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            BSPEngine(ring_graph(4)).run(
+                BSPConnectedComponents(),
+                checkpoint_every=0,
+                checkpoint_store=CheckpointStore(),
+            )
+
+    def test_resume_graph_mismatch_rejected(self):
+        ck = Checkpoint(
+            superstep=1, values=[0, 0], halted=np.zeros(2, bool), pending=[]
+        )
+        with pytest.raises(ValueError, match="vertex count"):
+            BSPEngine(ring_graph(5)).run(
+                BSPConnectedComponents(), resume_from=ck
+            )
+
+    def test_aggregator_state_survives_recovery(self):
+        """Aggregator visibility and history must be checkpointed."""
+        from repro.bsp import VertexProgram
+
+        class Counting(VertexProgram):
+            def initial_value(self, vertex, graph):
+                return 0
+
+            def compute(self, ctx, messages):
+                if ctx.superstep < 3:
+                    ctx.aggregate("steps", 1)
+                    ctx.send_to_neighbors(0)
+                else:
+                    ctx.value = ctx.aggregated("steps")
+                    ctx.vote_to_halt()
+
+        g = ring_graph(6)
+        aggs = {"steps": SumAggregator()}
+        clean = BSPEngine(g, aggregators=aggs).run(Counting())
+
+        store = CheckpointStore()
+        engine = BSPEngine(g, aggregators=aggs)
+        partial = engine.run(
+            Counting(),
+            max_supersteps=2,
+            checkpoint_every=2,
+            checkpoint_store=store,
+        )
+        assert partial.num_supersteps == 2
+        resumed = BSPEngine(g, aggregators=aggs).run(
+            Counting(), resume_from=store.latest
+        )
+        assert resumed.values == clean.values
+        assert (
+            resumed.aggregator_history["steps"]
+            == clean.aggregator_history["steps"]
+        )
+
+
+class TestDiskRoundTrip:
+    def test_save_load(self, tmp_path, crash_graph):
+        store = CheckpointStore()
+        BSPEngine(crash_graph).run(
+            BSPConnectedComponents(),
+            checkpoint_every=1,
+            checkpoint_store=store,
+        )
+        path = tmp_path / "ck.pkl"
+        save_checkpoint(store.latest, path)
+        loaded = load_checkpoint(path)
+        assert loaded.superstep == store.latest.superstep
+        assert loaded.values == store.latest.values
+        assert loaded.pending == store.latest.pending
+
+    def test_version_check(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "bad.pkl"
+        with open(path, "wb") as fh:
+            pickle.dump({"format_version": 99, "checkpoint": None}, fh)
+        with pytest.raises(ValueError, match="version"):
+            load_checkpoint(path)
+
+    def test_resume_from_disk(self, tmp_path, crash_graph):
+        clean = BSPEngine(crash_graph).run(BSPConnectedComponents())
+        store = CheckpointStore()
+        program = CrashingCC(3)
+        engine = BSPEngine(crash_graph)
+        with pytest.raises(CrashError):
+            engine.run(
+                program, checkpoint_every=2, checkpoint_store=store
+            )
+        path = tmp_path / "ck.pkl"
+        save_checkpoint(store.latest, path)
+        program.armed = False
+        recovered = BSPEngine(crash_graph).run(
+            program, resume_from=load_checkpoint(path)
+        )
+        assert recovered.values == clean.values
+
+
+class TestResumeOtherPrograms:
+    def test_bfs_resume(self, crash_graph):
+        src = int(np.argmax(crash_graph.degrees()))
+        clean = BSPEngine(crash_graph).run(BSPBreadthFirstSearch(src))
+        store = CheckpointStore()
+        engine = BSPEngine(crash_graph)
+        partial = engine.run(
+            BSPBreadthFirstSearch(src),
+            max_supersteps=2,
+            checkpoint_every=1,
+            checkpoint_store=store,
+        )
+        resumed = BSPEngine(crash_graph).run(
+            BSPBreadthFirstSearch(src), resume_from=store.latest
+        )
+        assert resumed.values == clean.values
+        assert resumed.num_supersteps == clean.num_supersteps

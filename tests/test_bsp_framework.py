@@ -1,0 +1,290 @@
+"""Tests for the BSP engine, messages, combiners, and aggregators."""
+
+import numpy as np
+import pytest
+
+from repro.bsp import (
+    BSPEngine,
+    LogicalAndAggregator,
+    LogicalOrAggregator,
+    MaxAggregator,
+    MaxCombiner,
+    MessageBuffer,
+    MinAggregator,
+    MinCombiner,
+    SumAggregator,
+    SumCombiner,
+    VertexProgram,
+)
+from repro.graph import from_edge_list, path_graph, ring_graph
+
+
+class Noop(VertexProgram):
+    def compute(self, ctx, messages):
+        ctx.vote_to_halt()
+
+
+class EchoOnce(VertexProgram):
+    """Superstep 0: send own id to neighbours; superstep 1: store max."""
+
+    def initial_value(self, vertex, graph):
+        return -1
+
+    def compute(self, ctx, messages):
+        if ctx.superstep == 0:
+            ctx.send_to_neighbors(ctx.vertex_id)
+        else:
+            ctx.value = max(messages)
+        ctx.vote_to_halt()
+
+
+class TestMessageBuffer:
+    def test_send_and_receive(self):
+        buf = MessageBuffer(4)
+        buf.send(0, 2, "a")
+        buf.send(1, 2, "b")
+        assert buf.messages_for(2) == ["a", "b"]
+        assert buf.messages_for(3) == []
+        assert buf.total_sent == 2
+        assert list(buf.destinations()) == [2]
+
+    def test_out_of_range_target(self):
+        buf = MessageBuffer(2)
+        with pytest.raises(IndexError):
+            buf.send(0, 2, "x")
+        with pytest.raises(IndexError):
+            buf.send(0, -1, "x")
+
+    def test_combiner_folds(self):
+        buf = MessageBuffer(3, MinCombiner())
+        buf.send(0, 1, 5)
+        buf.send(2, 1, 3)
+        buf.send(2, 1, 9)
+        assert buf.messages_for(1) == [3]
+        assert buf.total_sent == 3        # send-side accounting unchanged
+        assert buf.total_delivered == 1   # one folded message delivered
+
+    def test_queue_pressure(self):
+        buf = MessageBuffer(3)
+        for _ in range(5):
+            buf.send(0, 1, 0)
+        buf.send(0, 2, 0)
+        assert buf.max_queue_pressure() == 5
+        assert buf.enqueues_per_destination.tolist() == [0, 5, 1]
+
+    def test_empty(self):
+        buf = MessageBuffer(2)
+        assert buf.is_empty
+        assert buf.max_queue_pressure() == 0
+
+    def test_zero_vertices(self):
+        assert MessageBuffer(0).max_queue_pressure() == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            MessageBuffer(-1)
+
+
+class TestCombiners:
+    def test_min_max_sum(self):
+        assert MinCombiner().combine(3, 5) == 3
+        assert MaxCombiner().combine(3, 5) == 5
+        assert SumCombiner().combine(3, 5) == 8
+
+
+class TestAggregators:
+    def test_identities(self):
+        assert SumAggregator().identity() == 0
+        assert MinAggregator().identity() is None
+        assert MaxAggregator().identity() is None
+        assert LogicalAndAggregator().identity() is True
+        assert LogicalOrAggregator().identity() is False
+
+    def test_reduce(self):
+        assert SumAggregator().reduce(1, 2) == 3
+        assert MinAggregator().reduce(None, 7) == 7
+        assert MinAggregator().reduce(7, 9) == 7
+        assert MaxAggregator().reduce(None, 7) == 7
+        assert MaxAggregator().reduce(7, 9) == 9
+        assert LogicalAndAggregator().reduce(True, False) is False
+        assert LogicalOrAggregator().reduce(False, True) is True
+
+
+class TestEngineSemantics:
+    def test_halt_terminates_immediately(self):
+        res = BSPEngine(ring_graph(4)).run(Noop())
+        assert res.num_supersteps == 1
+        assert res.active_per_superstep == [4]
+        assert res.messages_per_superstep == [0]
+
+    def test_messages_cross_superstep_boundary(self):
+        res = BSPEngine(path_graph(3)).run(EchoOnce())
+        assert res.num_supersteps == 2
+        assert res.values == [1, 2, 1]
+
+    def test_message_reactivates_halted_vertex(self):
+        class Chain(VertexProgram):
+            def initial_value(self, vertex, graph):
+                return None
+
+            def compute(self, ctx, messages):
+                if ctx.superstep == 0:
+                    if ctx.vertex_id == 0:
+                        ctx.value = 0
+                        ctx.send(1, 0)
+                elif messages:
+                    ctx.value = messages[0] + 1
+                    nxt = ctx.vertex_id + 1
+                    if nxt < ctx.num_vertices:
+                        ctx.send(nxt, ctx.value)
+                ctx.vote_to_halt()
+
+        res = BSPEngine(path_graph(4)).run(Chain())
+        assert res.values == [0, 1, 2, 3]
+        assert res.num_supersteps == 4
+
+    def test_initial_active_restricts_superstep0(self):
+        class CountCompute(VertexProgram):
+            def initial_value(self, vertex, graph):
+                return 0
+
+            def compute(self, ctx, messages):
+                ctx.value += 1
+                ctx.vote_to_halt()
+
+        res = BSPEngine(ring_graph(5)).run(
+            CountCompute(), initial_active=[2]
+        )
+        assert res.active_per_superstep == [1]
+        assert res.values == [0, 0, 1, 0, 0]
+
+    def test_initial_active_out_of_range(self):
+        with pytest.raises(IndexError):
+            BSPEngine(ring_graph(3)).run(Noop(), initial_active=[9])
+
+    def test_max_supersteps_cap(self):
+        class Forever(VertexProgram):
+            def compute(self, ctx, messages):
+                ctx.send_to_neighbors(0)
+
+        res = BSPEngine(ring_graph(3)).run(Forever(), max_supersteps=5)
+        assert res.num_supersteps == 5
+
+    def test_max_supersteps_validated(self):
+        with pytest.raises(ValueError):
+            BSPEngine(ring_graph(3)).run(Noop(), max_supersteps=0)
+
+    def test_not_halting_keeps_vertex_active(self):
+        class TwoSteps(VertexProgram):
+            def initial_value(self, vertex, graph):
+                return 0
+
+            def compute(self, ctx, messages):
+                ctx.value += 1
+                if ctx.superstep >= 1:
+                    ctx.vote_to_halt()
+
+        res = BSPEngine(ring_graph(3)).run(TwoSteps())
+        assert res.values == [2, 2, 2]
+        assert res.num_supersteps == 2
+
+    def test_combiner_reduces_delivered_messages(self):
+        class SendAll(VertexProgram):
+            def initial_value(self, vertex, graph):
+                return None
+
+            def compute(self, ctx, messages):
+                if ctx.superstep == 0:
+                    ctx.send_to_neighbors(ctx.vertex_id)
+                else:
+                    ctx.value = messages
+                ctx.vote_to_halt()
+
+        g = from_edge_list([(0, 2), (1, 2)], num_vertices=3)
+        plain = BSPEngine(g).run(SendAll())
+        combined = BSPEngine(g, combiner=MinCombiner()).run(SendAll())
+        assert sorted(plain.values[2]) == [0, 1]
+        assert combined.values[2] == [0]
+
+    def test_aggregator_visible_next_superstep(self):
+        class AggProgram(VertexProgram):
+            def initial_value(self, vertex, graph):
+                return None
+
+            def compute(self, ctx, messages):
+                if ctx.superstep == 0:
+                    assert ctx.aggregated("total") == 0  # identity
+                    ctx.aggregate("total", 1)
+                    ctx.send_to_neighbors(0)  # keep everyone alive
+                elif ctx.superstep == 1:
+                    ctx.value = ctx.aggregated("total")
+                    ctx.vote_to_halt()
+                else:
+                    ctx.vote_to_halt()
+
+        res = BSPEngine(
+            ring_graph(4), aggregators={"total": SumAggregator()}
+        ).run(AggProgram())
+        assert res.values == [4, 4, 4, 4]
+        assert res.aggregator_history["total"][0] == 4
+
+    def test_unknown_aggregator_raises(self):
+        class BadAgg(VertexProgram):
+            def compute(self, ctx, messages):
+                ctx.aggregate("nope", 1)
+
+        with pytest.raises(KeyError, match="nope"):
+            BSPEngine(ring_graph(3)).run(BadAgg())
+
+    def test_send_to_arbitrary_vertex(self):
+        """Pregel: a vertex may message any vertex it can identify."""
+
+        class Remote(VertexProgram):
+            def initial_value(self, vertex, graph):
+                return 0
+
+            def compute(self, ctx, messages):
+                if ctx.superstep == 0 and ctx.vertex_id == 0:
+                    ctx.send(ctx.num_vertices - 1, 42)  # not a neighbour
+                for m in messages:
+                    ctx.value += m
+                ctx.vote_to_halt()
+
+        res = BSPEngine(path_graph(5)).run(Remote())
+        assert res.values[4] == 42
+
+
+class TestEngineInstrumentation:
+    def test_one_superstep_region_each(self):
+        res = BSPEngine(ring_graph(4)).run(EchoOnce())
+        assert len(res.trace) == res.num_supersteps
+        assert all(r.kind == "superstep" for r in res.trace)
+        assert [r.iteration for r in res.trace] == [0, 1]
+
+    def test_message_traffic_accounted(self):
+        res = BSPEngine(ring_graph(4)).run(EchoOnce())
+        first = res.trace.regions[0]
+        assert first.writes >= 8  # 8 messages x enqueue writes
+        assert first.atomics > 0
+        second = res.trace.regions[1]
+        assert second.reads >= 8  # deliveries
+
+    def test_hotspot_reflects_indegree(self):
+        g = from_edge_list([(i, 9) for i in range(9)], num_vertices=10)
+        res = BSPEngine(g).run(EchoOnce())
+        first = res.trace.regions[0]
+        assert first.atomic_max_site >= 9  # hub queue takes 9 enqueues
+
+    def test_values_array_helper(self):
+        res = BSPEngine(path_graph(3)).run(EchoOnce())
+        arr = res.values_array(dtype=np.float64)
+        assert arr.tolist() == [1.0, 2.0, 1.0]
+
+    def test_values_array_maps_none(self):
+        class Lazy(VertexProgram):
+            def compute(self, ctx, messages):
+                ctx.vote_to_halt()
+
+        res = BSPEngine(path_graph(2)).run(Lazy())
+        arr = res.values_array(none_as=-5.0)
+        assert arr.tolist() == [-5.0, -5.0]

@@ -1,0 +1,93 @@
+"""Tests for BSP k-core membership."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bsp import BSPEngine
+from repro.bsp_algorithms import BSPKCore, bsp_k_core
+from repro.graph import from_edge_list, ring_graph, star_graph
+from repro.graphct import k_core_decomposition
+
+
+class TestCorrectness:
+    def test_matches_decomposition(self, small_rmat):
+        decomp = k_core_decomposition(small_rmat)
+        for k in (1, 2, 3, decomp.max_core):
+            res = bsp_k_core(small_rmat, k)
+            assert np.array_equal(res.in_core, decomp.core_numbers >= k)
+
+    def test_ring_2core(self):
+        res = bsp_k_core(ring_graph(8), 2)
+        assert res.in_core.all()
+        res3 = bsp_k_core(ring_graph(8), 3)
+        assert not res3.in_core.any()
+
+    def test_star_peels_completely_at_2(self):
+        res = bsp_k_core(star_graph(6), 2)
+        assert not res.in_core.any()
+        # Leaves drop first, then the hub: a multi-superstep cascade.
+        assert res.num_supersteps >= 2
+        assert res.dropped_per_superstep[0] == 6
+
+    def test_k_zero_keeps_everyone(self):
+        g = from_edge_list([(0, 1)], num_vertices=4)
+        assert bsp_k_core(g, 0).in_core.all()
+
+    def test_engine_equivalence(self, small_rmat):
+        k = 3
+        eng = BSPEngine(small_rmat).run(BSPKCore(k))
+        vec = bsp_k_core(small_rmat, k)
+        eng_in = np.asarray(eng.values) >= 0
+        assert np.array_equal(eng_in, vec.in_core)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bsp_k_core(ring_graph(4), -1)
+        with pytest.raises(ValueError):
+            bsp_k_core(from_edge_list([(0, 1)], directed=True), 1)
+        with pytest.raises(ValueError):
+            BSPKCore(-1)
+
+    def test_cascade_depth(self):
+        """A path peels from the ends inward, one hop per superstep."""
+        from repro.graph import path_graph
+
+        res = bsp_k_core(path_graph(9), 2)
+        assert not res.in_core.any()
+        assert res.num_supersteps >= 4  # 4 waves to reach the middle
+
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_property_matches_decomposition(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=16))
+        m = data.draw(st.integers(min_value=0, max_value=40))
+        edges = data.draw(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=n - 1),
+                    st.integers(min_value=0, max_value=n - 1),
+                ),
+                min_size=m, max_size=m,
+            )
+        )
+        g = from_edge_list(edges, n)
+        k = data.draw(st.integers(min_value=0, max_value=6))
+        res = bsp_k_core(g, k)
+        oracle = k_core_decomposition(g).core_numbers >= k
+        assert np.array_equal(res.in_core, oracle)
+
+
+class TestAccounting:
+    def test_messages_are_dropper_degrees(self, small_rmat):
+        res = bsp_k_core(small_rmat, 4)
+        assert res.messages_per_superstep[-1] == 0
+        assert sum(res.dropped_per_superstep) == int(
+            (~res.in_core).sum()
+        )
+
+    def test_trace_supersteps(self, small_rmat):
+        res = bsp_k_core(small_rmat, 4)
+        assert len(res.trace) == res.num_supersteps
+        assert all(r.kind == "superstep" for r in res.trace)

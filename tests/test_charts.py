@@ -1,0 +1,77 @@
+"""Tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.analysis.charts import ascii_chart, log_ascii_chart
+
+
+class TestAsciiChart:
+    def test_basic_structure(self):
+        out = ascii_chart("T", {"a": [1, 2, 3]}, width=20, height=5)
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert lines[1] == "="
+        assert sum(1 for l in lines if "|" in l) == 5
+        assert any("o=a" in l for l in lines)
+
+    def test_markers_distinct_per_series(self):
+        out = ascii_chart(
+            "T", {"first": [1, 1], "second": [5, 5]}, width=20, height=6
+        )
+        assert "o=first" in out and "x=second" in out
+        assert "o" in out and "x" in out
+
+    def test_min_max_ticks_present(self):
+        out = ascii_chart("T", {"a": [2.0, 8.0]}, width=20, height=5)
+        assert "8" in out and "2" in out
+
+    def test_log_scale_skips_nonpositive(self):
+        out = log_ascii_chart("T", {"a": [0, 10, 100]}, width=20, height=5)
+        assert "100" in out
+
+    def test_log_scale_all_nonpositive_rejected(self):
+        with pytest.raises(ValueError, match="plottable"):
+            log_ascii_chart("T", {"a": [0, 0]})
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            ascii_chart("T", {})
+
+    def test_tiny_canvas_rejected(self):
+        with pytest.raises(ValueError, match="small"):
+            ascii_chart("T", {"a": [1]}, width=5, height=2)
+
+    def test_constant_series_renders(self):
+        out = ascii_chart("T", {"a": [3, 3, 3]}, width=15, height=4)
+        assert "o" in out
+
+    def test_x_labels(self):
+        out = ascii_chart(
+            "T", {"a": [1, 2]}, width=20, height=5, x_labels=[8, 128]
+        )
+        assert "8" in out and "128" in out
+
+    def test_single_point(self):
+        out = ascii_chart("T", {"a": [7]}, width=12, height=4)
+        assert out.count("o") >= 1
+
+    def test_scientific_ticks_for_large_values(self):
+        out = ascii_chart("T", {"a": [1e6, 1e7]}, width=15, height=4)
+        assert "e+0" in out
+
+
+class TestCLICharts:
+    def test_fig2_chart(self, capsys):
+        from repro.cli import main
+
+        assert main(["fig2", "--chart", "--scale", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "log y" in out
+        assert "o=frontier" in out
+
+    def test_fig4_chart(self, capsys):
+        from repro.cli import main
+
+        assert main(["fig4", "--chart", "--scale", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "seconds vs processors" in out

@@ -1,0 +1,109 @@
+"""Tests for the distributed-cluster BSP cost model."""
+
+import pytest
+
+from repro.cluster import (
+    ClusterMachine,
+    flat_scaling_range,
+    simulate_cluster_bsp,
+)
+from repro.xmt.trace import RegionTrace, WorkTrace
+
+
+def bsp_trace(messages=1000, supersteps=3):
+    t = WorkTrace()
+    for i in range(supersteps):
+        t.add(
+            RegionTrace(
+                name="bsp/superstep",
+                parallel_items=100,
+                instructions=1e6,
+                writes=messages,
+                kind="superstep",
+                iteration=i,
+            )
+        )
+    return t
+
+
+class TestClusterMachine:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_machines": 0},
+            {"cores_per_machine": 0},
+            {"core_ips": 0},
+            {"messages_per_second_per_machine": 0},
+            {"barrier_seconds": -1},
+            {"imbalance": 0.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ClusterMachine(**kwargs)
+
+    def test_with_machines(self):
+        c = ClusterMachine(num_machines=6)
+        assert c.with_machines(12).num_machines == 12
+        assert c.num_machines == 6
+
+
+class TestSimulation:
+    def test_barrier_floor(self):
+        c = ClusterMachine(barrier_seconds=0.1)
+        sim = simulate_cluster_bsp(bsp_trace(messages=0), c)
+        assert sim.total_seconds >= 0.3  # 3 supersteps x barrier
+
+    def test_more_machines_faster_when_heavy(self):
+        heavy = bsp_trace(messages=50_000_000)
+        small = simulate_cluster_bsp(heavy, ClusterMachine(num_machines=4))
+        big = simulate_cluster_bsp(heavy, ClusterMachine(num_machines=64))
+        assert big.total_seconds < small.total_seconds
+
+    def test_barrier_bound_when_light(self):
+        light = bsp_trace(messages=10)
+        t4 = simulate_cluster_bsp(light, ClusterMachine(num_machines=4))
+        t64 = simulate_cluster_bsp(light, ClusterMachine(num_machines=64))
+        assert t64.total_seconds > 0.9 * t4.total_seconds  # flat
+
+    def test_explicit_message_counts_override_writes(self):
+        t = bsp_trace(messages=1_000_000, supersteps=1)
+        c = ClusterMachine()
+        proxy = simulate_cluster_bsp(t, c)
+        exact = simulate_cluster_bsp(t, c, messages_per_superstep=[0])
+        assert exact.total_seconds < proxy.total_seconds
+
+    def test_imbalance_slows_down(self):
+        t = bsp_trace(messages=50_000_000)
+        balanced = ClusterMachine(imbalance=1.0)
+        skewed = ClusterMachine(imbalance=3.0)
+        assert (
+            simulate_cluster_bsp(t, skewed).total_seconds
+            > simulate_cluster_bsp(t, balanced).total_seconds
+        )
+
+    def test_requires_supersteps(self):
+        t = WorkTrace()
+        t.add(RegionTrace(name="loop", parallel_items=5, kind="loop"))
+        with pytest.raises(ValueError, match="no supersteps"):
+            simulate_cluster_bsp(t, ClusterMachine())
+
+    def test_per_superstep_lengths(self):
+        sim = simulate_cluster_bsp(bsp_trace(supersteps=5), ClusterMachine())
+        assert len(sim.per_superstep_seconds) == 5
+
+
+class TestFlatScaling:
+    def test_light_workload_is_flat_everywhere(self):
+        flat = flat_scaling_range(
+            bsp_trace(messages=10), ClusterMachine(), [2, 4, 8, 16]
+        )
+        assert flat == [4, 8, 16]
+
+    def test_heavy_workload_keeps_scaling(self):
+        flat = flat_scaling_range(
+            bsp_trace(messages=500_000_000),
+            ClusterMachine(),
+            [2, 4, 8, 16],
+        )
+        assert flat == []

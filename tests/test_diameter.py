@@ -1,0 +1,83 @@
+"""Tests for diameter estimation."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import from_edge_list, path_graph, ring_graph, rmat, star_graph
+from repro.graphct.diameter import estimate_diameter
+
+
+class TestExact:
+    def test_path(self):
+        res = estimate_diameter(path_graph(7), exact=True)
+        assert res.diameter == 6
+        assert res.exact
+        assert set(res.endpoints) == {0, 6}
+
+    def test_ring(self):
+        assert estimate_diameter(ring_graph(10), exact=True).diameter == 5
+
+    def test_star(self):
+        assert estimate_diameter(star_graph(5), exact=True).diameter == 2
+
+    def test_matches_networkx(self):
+        g = rmat(scale=7, edge_factor=8, seed=3)
+        from repro.graph.subgraph import largest_component_subgraph
+
+        giant, _ = largest_component_subgraph(g)
+        res = estimate_diameter(giant, exact=True)
+        nxg = nx.Graph(list(giant.edges()))
+        nxg.add_nodes_from(range(giant.num_vertices))
+        assert res.diameter == nx.diameter(nxg)
+
+
+class TestDoubleSweep:
+    def test_lower_bound_never_exceeds_exact(self):
+        g = rmat(scale=8, edge_factor=8, seed=5)
+        approx = estimate_diameter(g)
+        # Exact within the component swept from the same start.
+        exact = estimate_diameter(g, exact=True)
+        assert approx.diameter <= exact.diameter
+        assert not approx.exact
+
+    def test_exact_on_paths(self):
+        """Double sweep is exact on trees."""
+        res = estimate_diameter(path_graph(31))
+        assert res.diameter == 30
+
+    def test_small_world_diameter_is_small(self):
+        """The paper's premise: small-world graphs have tiny diameters."""
+        g = rmat(scale=12, edge_factor=16, seed=1)
+        res = estimate_diameter(g)
+        assert res.diameter <= 12
+
+    def test_endpoints_realize_distance(self):
+        g = rmat(scale=8, edge_factor=8, seed=2)
+        res = estimate_diameter(g)
+        from repro.graphct import breadth_first_search
+
+        check = breadth_first_search(g, res.endpoints[0])
+        assert check.distances[res.endpoints[1]] == res.diameter
+
+    def test_sweep_budget_respected(self):
+        g = rmat(scale=9, edge_factor=8, seed=1)
+        res = estimate_diameter(g, max_sweeps=2)
+        assert res.num_sweeps <= 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_diameter(from_edge_list([], num_vertices=0))
+        with pytest.raises(ValueError):
+            estimate_diameter(ring_graph(4), max_sweeps=1)
+
+    def test_trace_accumulates_bfs_regions(self):
+        res = estimate_diameter(ring_graph(16))
+        assert len(res.trace) > 0
+
+    @given(st.integers(min_value=3, max_value=40))
+    @settings(max_examples=20, deadline=None)
+    def test_ring_property(self, n):
+        assert estimate_diameter(ring_graph(n)).diameter == n // 2

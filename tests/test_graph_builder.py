@@ -1,0 +1,127 @@
+"""Unit tests for graph construction and normalization."""
+
+import numpy as np
+import pytest
+
+from repro.graph import GraphBuilder, from_edge_array, from_edge_list
+
+
+class TestNormalization:
+    def test_self_loops_removed(self):
+        g = from_edge_list([(0, 0), (0, 1), (1, 1)])
+        assert sorted(g.edges()) == [(0, 1)]
+
+    def test_self_loops_kept_when_disabled(self):
+        g = from_edge_list([(0, 0), (0, 1)], remove_self_loops=False)
+        assert (0, 0) in list(g.edges())
+
+    def test_duplicates_removed(self):
+        g = from_edge_list([(0, 1), (0, 1), (1, 0)])
+        assert g.num_edges == 1
+
+    def test_duplicates_kept_when_disabled(self):
+        g = from_edge_list([(0, 1), (0, 1)], deduplicate=False, directed=True)
+        assert g.num_arcs == 2
+
+    def test_undirected_symmetrized(self):
+        g = from_edge_list([(0, 1)])
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+
+    def test_directed_not_symmetrized(self):
+        g = from_edge_list([(0, 1)], directed=True)
+        assert g.has_edge(0, 1) and not g.has_edge(1, 0)
+
+    def test_adjacency_sorted(self):
+        g = from_edge_list([(0, 5), (0, 2), (0, 9), (0, 1)], num_vertices=10)
+        assert g.neighbors(0).tolist() == [1, 2, 5, 9]
+
+    def test_isolated_vertices_via_num_vertices(self):
+        g = from_edge_list([(0, 1)], num_vertices=5)
+        assert g.num_vertices == 5
+        assert g.degree(4) == 0
+
+    def test_out_of_range_endpoint_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            from_edge_list([(0, 7)], num_vertices=3)
+
+    def test_negative_endpoint_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            from_edge_list([(-1, 0)], num_vertices=3)
+
+    def test_empty_graph(self):
+        g = from_edge_list([], num_vertices=4)
+        assert g.num_vertices == 4
+        assert g.num_edges == 0
+
+    def test_zero_vertex_graph(self):
+        g = from_edge_list([])
+        assert g.num_vertices == 0
+
+    def test_bad_edge_shape_rejected(self):
+        with pytest.raises(ValueError, match=r"\(m, 2\)"):
+            from_edge_array(np.array([[0, 1, 2]]))
+
+
+class TestWeightedConstruction:
+    def test_weights_follow_symmetrization(self):
+        g = from_edge_list([(0, 1), (1, 2)], weights=[3.0, 4.0])
+        assert g.edge_weights(0).tolist() == [3.0]
+        assert sorted(g.edge_weights(1).tolist()) == [3.0, 4.0]
+
+    def test_weight_length_checked(self):
+        with pytest.raises(ValueError, match="one entry per"):
+            from_edge_list([(0, 1)], weights=[1.0, 2.0])
+
+    def test_duplicate_weight_keeps_first_sorted(self):
+        g = from_edge_list(
+            [(0, 1), (0, 1)], weights=[9.0, 9.0], directed=True
+        )
+        assert g.edge_weights(0).tolist() == [9.0]
+
+
+class TestGraphBuilder:
+    def test_incremental_batches(self):
+        b = GraphBuilder(num_vertices=4)
+        b.add_edge(0, 1)
+        b.add_edges([(1, 2), (2, 3)])
+        g = b.build()
+        assert g.num_edges == 3
+        assert b.num_buffered_edges == 3
+
+    def test_empty_build(self):
+        g = GraphBuilder(num_vertices=2).build()
+        assert g.num_vertices == 2 and g.num_edges == 0
+
+    def test_weighted_batches(self):
+        b = GraphBuilder(num_vertices=3)
+        b.add_edges([(0, 1)], weights=[1.5])
+        b.add_edge(1, 2, weight=2.5)
+        g = b.build()
+        assert g.is_weighted
+        assert g.edge_weights(2).tolist() == [2.5]
+
+    def test_mixed_weighting_rejected(self):
+        b = GraphBuilder()
+        b.add_edges([(0, 1)])
+        with pytest.raises(ValueError, match="mix"):
+            b.add_edges([(1, 2)], weights=[1.0])
+
+    def test_weight_length_validated(self):
+        b = GraphBuilder()
+        with pytest.raises(ValueError, match="one entry per edge"):
+            b.add_edges([(0, 1), (1, 2)], weights=[1.0])
+
+    def test_directed_builder(self):
+        b = GraphBuilder(directed=True)
+        b.add_edges([(0, 1), (1, 0)])
+        g = b.build()
+        assert g.num_arcs == 2 and g.directed
+
+    def test_builder_reusable_after_build(self):
+        b = GraphBuilder(num_vertices=3)
+        b.add_edges([(0, 1)])
+        g1 = b.build()
+        b.add_edges([(1, 2)])
+        g2 = b.build()
+        assert g1.num_edges == 1
+        assert g2.num_edges == 2

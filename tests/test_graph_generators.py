@@ -1,0 +1,176 @@
+"""Tests for graph generators, including RMAT distribution properties."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    RMATParameters,
+    erdos_renyi,
+    path_graph,
+    ring_graph,
+    rmat,
+    rmat_edges,
+    star_graph,
+    two_d_grid,
+    watts_strogatz,
+)
+from repro.graph.properties import degree_statistics, is_symmetric
+
+
+class TestRMATParameters:
+    def test_sizes(self):
+        p = RMATParameters(scale=10, edge_factor=16)
+        assert p.num_vertices == 1024
+        assert p.num_edge_pairs == 16384
+
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            RMATParameters(a=0.5, b=0.5, c=0.5, d=0.5)
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            RMATParameters(a=1.2, b=-0.2, c=0.0, d=0.0)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            RMATParameters(scale=-1)
+
+    def test_zero_edge_factor_rejected(self):
+        with pytest.raises(ValueError):
+            RMATParameters(edge_factor=0)
+
+
+class TestRMATEdges:
+    def test_shape_and_range(self):
+        p = RMATParameters(scale=8, edge_factor=4)
+        e = rmat_edges(p, seed=7)
+        assert e.shape == (p.num_edge_pairs, 2)
+        assert e.min() >= 0 and e.max() < p.num_vertices
+
+    def test_deterministic_for_seed(self):
+        p = RMATParameters(scale=8, edge_factor=4)
+        assert np.array_equal(rmat_edges(p, seed=5), rmat_edges(p, seed=5))
+        assert not np.array_equal(rmat_edges(p, seed=5), rmat_edges(p, seed=6))
+
+    def test_scale_zero_single_vertex(self):
+        p = RMATParameters(scale=0, edge_factor=2)
+        e = rmat_edges(p, seed=1)
+        assert np.all(e == 0)
+
+    def test_skew_towards_low_ids(self):
+        # With a=0.57 the upper-left quadrant is favoured, so low vertex
+        # ids must receive far more edge endpoints than high ids.
+        p = RMATParameters(scale=10, edge_factor=16)
+        e = rmat_edges(p, seed=3)
+        endpoints = e.ravel()
+        low = np.count_nonzero(endpoints < p.num_vertices // 2)
+        high = endpoints.size - low
+        assert low > 1.5 * high
+
+
+class TestRMATGraph:
+    def test_undirected_simple(self):
+        g = rmat(scale=9, edge_factor=8, seed=2)
+        assert not g.directed
+        assert is_symmetric(g)
+        src = g.arc_sources()
+        assert not np.any(src == g.col_idx)  # no self loops
+
+    def test_scale_free_degree_skew(self):
+        g = rmat(scale=12, edge_factor=16, seed=1)
+        stats = degree_statistics(g)
+        # Scale-free: a few hubs dominate (paper: "several vertices have
+        # many neighbors").
+        assert stats.skew > 5
+        assert stats.median_degree < stats.mean_degree
+
+    def test_small_world_reachability(self):
+        from repro.graph.properties import (
+            giant_component_vertex,
+            reachable_from,
+        )
+
+        g = rmat(scale=11, edge_factor=16, seed=1)
+        visited = reachable_from(g, giant_component_vertex(g))
+        # Giant component holds the bulk of non-isolated vertices.
+        non_isolated = int(np.count_nonzero(g.degrees() > 0))
+        assert visited.sum() > 0.7 * non_isolated
+
+    def test_directed_variant(self):
+        g = rmat(scale=8, edge_factor=4, seed=1, directed=True)
+        assert g.directed
+
+
+class TestErdosRenyi:
+    def test_basic(self):
+        g = erdos_renyi(100, 300, seed=1)
+        assert g.num_vertices == 100
+        assert 0 < g.num_edges <= 300
+
+    def test_invalid_vertex_count(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(0, 5)
+
+    def test_deterministic(self):
+        a = erdos_renyi(50, 100, seed=9)
+        b = erdos_renyi(50, 100, seed=9)
+        assert np.array_equal(a.col_idx, b.col_idx)
+
+
+class TestWattsStrogatz:
+    def test_no_rewire_is_lattice(self):
+        g = watts_strogatz(20, 4, 0.0)
+        assert np.all(g.degrees() == 4)
+
+    def test_rewire_changes_structure(self):
+        lattice = watts_strogatz(200, 4, 0.0, seed=1)
+        rewired = watts_strogatz(200, 4, 0.5, seed=1)
+        assert not np.array_equal(lattice.col_idx, rewired.col_idx)
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(ValueError, match="even"):
+            watts_strogatz(10, 3)
+
+    def test_k_too_large_rejected(self):
+        with pytest.raises(ValueError, match="smaller"):
+            watts_strogatz(4, 4)
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError, match="\\[0, 1\\]"):
+            watts_strogatz(10, 2, 1.5)
+
+
+class TestDeterministicTopologies:
+    def test_star(self):
+        g = star_graph(5)
+        assert g.degree(0) == 5
+        assert all(g.degree(v) == 1 for v in range(1, 6))
+
+    def test_star_zero_leaves(self):
+        assert star_graph(0).num_edges == 0
+
+    def test_ring(self):
+        g = ring_graph(6)
+        assert np.all(g.degrees() == 2)
+        assert g.num_edges == 6
+
+    def test_ring_too_small(self):
+        with pytest.raises(ValueError):
+            ring_graph(2)
+
+    def test_path(self):
+        g = path_graph(5)
+        assert g.num_edges == 4
+        assert g.degree(0) == 1 and g.degree(2) == 2
+
+    def test_single_vertex_path(self):
+        assert path_graph(1).num_edges == 0
+
+    def test_grid(self):
+        g = two_d_grid(3, 4)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError):
+            two_d_grid(0, 4)

@@ -1,0 +1,127 @@
+"""Round-trip tests for graph file I/O."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    from_edge_list,
+    load_graph,
+    read_edge_list,
+    rmat,
+    save_graph,
+    write_edge_list,
+)
+from repro.graph.io import read_dimacs
+
+
+class TestEdgeListRoundTrip:
+    def test_unweighted(self, tmp_path):
+        g = from_edge_list([(0, 1), (1, 2), (0, 3)])
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        g2 = read_edge_list(path, num_vertices=g.num_vertices)
+        assert sorted(g.edges()) == sorted(g2.edges())
+
+    def test_weighted(self, tmp_path):
+        g = from_edge_list([(0, 1), (1, 2)], weights=[1.5, 2.5])
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        g2 = read_edge_list(path, num_vertices=3)
+        assert g2.is_weighted
+        assert g2.edge_weights(0).tolist() == [1.5]
+
+    def test_directed(self, tmp_path):
+        g = from_edge_list([(0, 1), (1, 0), (2, 0)], directed=True)
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        g2 = read_edge_list(path, num_vertices=3, directed=True)
+        assert sorted(g.edges()) == sorted(g2.edges())
+
+    def test_comments_and_blanks_ignored(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n\n0 1\n# mid\n1 2\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 2
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 2 3\n")
+        with pytest.raises(ValueError, match="expected"):
+            read_edge_list(path)
+
+    def test_mixed_weighting_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2 5.0\n")
+        with pytest.raises(ValueError, match="mixed"):
+            read_edge_list(path)
+
+    def test_rmat_round_trip(self, tmp_path):
+        g = rmat(scale=8, edge_factor=4, seed=1)
+        path = tmp_path / "rmat.txt"
+        write_edge_list(g, path)
+        g2 = read_edge_list(path, num_vertices=g.num_vertices)
+        assert g.num_edges == g2.num_edges
+        assert np.array_equal(g.col_idx, g2.col_idx)
+
+
+class TestSnapshotRoundTrip:
+    def test_unweighted(self, tmp_path):
+        g = rmat(scale=8, edge_factor=4, seed=2)
+        path = tmp_path / "g.npz"
+        save_graph(g, path)
+        g2 = load_graph(path)
+        assert np.array_equal(g.row_ptr, g2.row_ptr)
+        assert np.array_equal(g.col_idx, g2.col_idx)
+        assert g2.directed == g.directed
+        assert g2.weights is None
+
+    def test_weighted(self, tmp_path):
+        g = from_edge_list([(0, 1)], weights=[4.25])
+        path = tmp_path / "g.npz"
+        save_graph(g, path)
+        g2 = load_graph(path)
+        assert np.array_equal(g.weights, g2.weights)
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "g.npz"
+        np.savez(
+            path,
+            format_version=np.asarray(99),
+            row_ptr=np.array([0]),
+            col_idx=np.array([], dtype=int),
+            directed=np.asarray(False),
+            sorted_adjacency=np.asarray(True),
+        )
+        with pytest.raises(ValueError, match="version"):
+            load_graph(path)
+
+
+class TestDimacs:
+    def test_read(self, tmp_path):
+        path = tmp_path / "g.gr"
+        path.write_text(
+            "c comment\np sp 4 3\na 1 2 5\na 2 3 7\na 4 1 2\n"
+        )
+        g = read_dimacs(path)
+        assert g.num_vertices == 4
+        assert g.directed
+        assert g.has_edge(0, 1)
+        assert g.edge_weights(0).tolist() == [5.0]
+
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "g.gr"
+        path.write_text("a 1 2 5\n")
+        with pytest.raises(ValueError, match="header"):
+            read_dimacs(path)
+
+    def test_bad_arc_line(self, tmp_path):
+        path = tmp_path / "g.gr"
+        path.write_text("p sp 2 1\na 1 2\n")
+        with pytest.raises(ValueError, match="a u v w"):
+            read_dimacs(path)
+
+    def test_unknown_record(self, tmp_path):
+        path = tmp_path / "g.gr"
+        path.write_text("p sp 2 0\nx nope\n")
+        with pytest.raises(ValueError, match="unknown record"):
+            read_dimacs(path)

@@ -1,0 +1,140 @@
+"""Tests for graph property utilities and subgraph extraction."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    connected_component_sizes,
+    degree_statistics,
+    extract_subgraph,
+    from_edge_list,
+    is_symmetric,
+    largest_component_subgraph,
+    reachable_from,
+    ring_graph,
+    star_graph,
+)
+from repro.graph.properties import _ragged_arange, giant_component_vertex
+
+
+class TestDegreeStatistics:
+    def test_star(self):
+        s = degree_statistics(star_graph(9))
+        assert s.max_degree == 9
+        assert s.min_degree == 1
+        assert s.isolated_vertices == 0
+        assert s.skew == pytest.approx(9 / (18 / 10))
+
+    def test_empty(self):
+        s = degree_statistics(from_edge_list([], num_vertices=0))
+        assert s.max_degree == 0 and s.skew == 0.0
+
+    def test_isolated_counted(self):
+        s = degree_statistics(from_edge_list([(0, 1)], num_vertices=4))
+        assert s.isolated_vertices == 2
+
+
+class TestSymmetry:
+    def test_undirected_symmetric(self):
+        assert is_symmetric(ring_graph(5))
+
+    def test_directed_asymmetric(self):
+        g = from_edge_list([(0, 1)], directed=True)
+        assert not is_symmetric(g)
+
+    def test_directed_but_symmetric_arcs(self):
+        g = from_edge_list([(0, 1), (1, 0)], directed=True)
+        assert is_symmetric(g)
+
+
+class TestReachability:
+    def test_two_components(self):
+        g = from_edge_list([(0, 1), (2, 3)])
+        mask = reachable_from(g, 0)
+        assert mask.tolist() == [True, True, False, False]
+
+    def test_isolated_source(self):
+        g = from_edge_list([(0, 1)], num_vertices=3)
+        mask = reachable_from(g, 2)
+        assert mask.tolist() == [False, False, True]
+
+    def test_out_of_range_source(self):
+        with pytest.raises(IndexError):
+            reachable_from(ring_graph(4), 9)
+
+    def test_ring_fully_reachable(self):
+        assert reachable_from(ring_graph(11), 0).all()
+
+
+class TestComponents:
+    def test_sizes_sorted_descending(self):
+        g = from_edge_list([(0, 1), (1, 2), (3, 4)], num_vertices=6)
+        assert connected_component_sizes(g).tolist() == [3, 2, 1]
+
+    def test_single_component(self):
+        assert connected_component_sizes(ring_graph(7)).tolist() == [7]
+
+    def test_giant_component_vertex(self):
+        g = from_edge_list([(0, 1), (2, 3), (3, 4), (4, 5)], num_vertices=6)
+        v = giant_component_vertex(g)
+        assert v in (2, 3, 4, 5)
+
+
+class TestRaggedArange:
+    def test_basic(self):
+        out = _ragged_arange(np.array([2, 0, 3]))
+        assert out.tolist() == [0, 1, 0, 1, 2]
+
+    def test_empty(self):
+        assert _ragged_arange(np.array([], dtype=int)).size == 0
+
+    def test_all_zero(self):
+        assert _ragged_arange(np.array([0, 0])).size == 0
+
+    def test_leading_zero(self):
+        out = _ragged_arange(np.array([0, 2, 1]))
+        assert out.tolist() == [0, 1, 0]
+
+    def test_single_run(self):
+        assert _ragged_arange(np.array([4])).tolist() == [0, 1, 2, 3]
+
+
+class TestSubgraph:
+    def test_induced_edges_only(self):
+        g = from_edge_list([(0, 1), (1, 2), (2, 3)])
+        sub, ids = extract_subgraph(g, [1, 2])
+        assert ids.tolist() == [1, 2]
+        assert sorted(sub.edges()) == [(0, 1)]
+
+    def test_relabelling_dense(self):
+        g = from_edge_list([(0, 5)], num_vertices=6)
+        sub, ids = extract_subgraph(g, [5, 0])
+        assert ids.tolist() == [0, 5]
+        assert sub.num_vertices == 2
+        assert sub.has_edge(0, 1)
+
+    def test_duplicate_ids_collapsed(self):
+        g = from_edge_list([(0, 1)])
+        sub, ids = extract_subgraph(g, [0, 0, 1])
+        assert ids.tolist() == [0, 1]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(IndexError):
+            extract_subgraph(ring_graph(4), [10])
+
+    def test_weighted_subgraph(self):
+        g = from_edge_list([(0, 1), (1, 2)], weights=[3.0, 4.0])
+        sub, _ = extract_subgraph(g, [0, 1])
+        assert sub.is_weighted
+        assert sub.edge_weights(0).tolist() == [3.0]
+
+    def test_directed_subgraph(self):
+        g = from_edge_list([(0, 1), (1, 0), (1, 2)], directed=True)
+        sub, _ = extract_subgraph(g, [0, 1])
+        assert sorted(sub.edges()) == [(0, 1), (1, 0)]
+
+    def test_largest_component(self):
+        g = from_edge_list([(0, 1), (2, 3), (3, 4)], num_vertices=5)
+        sub, ids = largest_component_subgraph(g)
+        assert sub.num_vertices == 3
+        assert ids.tolist() == [2, 3, 4]

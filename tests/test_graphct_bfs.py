@@ -1,0 +1,107 @@
+"""Tests for GraphCT level-synchronous BFS."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph import from_edge_list, path_graph, ring_graph, star_graph
+from repro.graph.properties import peripheral_vertex
+from repro.graphct import breadth_first_search
+
+
+class TestCorrectness:
+    def test_path_distances(self):
+        res = breadth_first_search(path_graph(5), 0)
+        assert res.distances.tolist() == [0, 1, 2, 3, 4]
+        assert res.parents.tolist() == [-1, 0, 1, 2, 3]
+
+    def test_matches_networkx(self, small_rmat, small_rmat_nx):
+        src = peripheral_vertex(small_rmat)
+        res = breadth_first_search(small_rmat, src)
+        oracle = nx.single_source_shortest_path_length(small_rmat_nx, src)
+        mine = {v: int(d) for v, d in enumerate(res.distances) if d >= 0}
+        assert mine == oracle
+
+    def test_unreachable_marked(self):
+        g = from_edge_list([(0, 1), (2, 3)])
+        res = breadth_first_search(g, 0)
+        assert res.distances[2] == -1 and res.distances[3] == -1
+        assert res.parents[2] == -1
+
+    def test_parents_form_valid_tree(self, small_rmat):
+        src = peripheral_vertex(small_rmat)
+        res = breadth_first_search(small_rmat, src)
+        for v in np.flatnonzero(res.distances > 0):
+            p = res.parents[v]
+            assert res.distances[p] == res.distances[v] - 1
+            assert small_rmat.has_edge(int(p), int(v))
+
+    def test_source_out_of_range(self):
+        with pytest.raises(IndexError):
+            breadth_first_search(ring_graph(4), 4)
+
+    def test_directed_graph_follows_arcs(self):
+        g = from_edge_list([(0, 1), (1, 2)], directed=True)
+        res = breadth_first_search(g, 0)
+        assert res.distances.tolist() == [0, 1, 2]
+        back = breadth_first_search(g, 2)
+        assert back.distances.tolist() == [-1, -1, 0]
+
+    def test_isolated_source(self):
+        g = from_edge_list([(0, 1)], num_vertices=3)
+        res = breadth_first_search(g, 2)
+        assert res.vertices_reached == 1
+        assert res.frontier_sizes == [1]
+
+
+class TestExecutionProfile:
+    """The per-level properties of Figures 2 and 3."""
+
+    def test_frontier_sizes_partition_reached_vertices(self, small_rmat):
+        src = peripheral_vertex(small_rmat)
+        res = breadth_first_search(small_rmat, src)
+        assert sum(res.frontier_sizes) == res.vertices_reached
+
+    def test_frontier_matches_distance_histogram(self, small_rmat):
+        src = peripheral_vertex(small_rmat)
+        res = breadth_first_search(small_rmat, src)
+        for level, size in enumerate(res.frontier_sizes):
+            assert size == int(np.count_nonzero(res.distances == level))
+
+    def test_edges_examined_is_frontier_degree_sum(self, small_rmat):
+        src = peripheral_vertex(small_rmat)
+        res = breadth_first_search(small_rmat, src)
+        deg = small_rmat.degrees()
+        for level, arcs in enumerate(res.edges_examined):
+            frontier = np.flatnonzero(res.distances == level)
+            assert arcs == int(deg[frontier].sum())
+
+    def test_frontier_ramps_and_contracts(self, small_rmat):
+        """Paper Fig. 2: frontier grows, peaks, then contracts."""
+        src = peripheral_vertex(small_rmat)
+        res = breadth_first_search(small_rmat, src)
+        apex = int(np.argmax(res.frontier_sizes))
+        assert 0 < apex < res.num_levels - 1
+        assert res.frontier_sizes[apex] > 100 * res.frontier_sizes[0]
+
+    def test_one_region_per_level(self, small_rmat):
+        src = peripheral_vertex(small_rmat)
+        res = breadth_first_search(small_rmat, src)
+        assert len(res.trace) == res.num_levels
+        assert [r.iteration for r in res.trace] == list(range(res.num_levels))
+
+    def test_region_parallelism_is_frontier_size(self, small_rmat):
+        src = peripheral_vertex(small_rmat)
+        res = breadth_first_search(small_rmat, src)
+        assert [r.parallel_items for r in res.trace] == res.frontier_sizes
+
+    def test_queue_atomics_chunked(self, small_rmat):
+        """Tail reservation is chunked: far fewer atomics than vertices."""
+        src = peripheral_vertex(small_rmat)
+        res = breadth_first_search(small_rmat, src)
+        total_atomics = sum(r.atomics for r in res.trace)
+        assert total_atomics < res.vertices_reached / 8
+
+    def test_star_two_levels(self):
+        res = breadth_first_search(star_graph(50), 1)
+        assert res.frontier_sizes == [1, 1, 49]

@@ -1,0 +1,100 @@
+"""Tests for GraphCT shared-memory connected components."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph import from_edge_list, ring_graph, star_graph, two_d_grid
+from repro.graphct import connected_components
+
+
+class TestCorrectness:
+    def test_two_components(self):
+        g = from_edge_list([(0, 1), (1, 2), (3, 4)], num_vertices=6)
+        res = connected_components(g)
+        assert res.num_components == 3
+        assert res.labels[0] == res.labels[1] == res.labels[2]
+        assert res.labels[3] == res.labels[4]
+        assert res.labels[5] == 5
+
+    def test_label_is_component_minimum(self):
+        g = from_edge_list([(5, 3), (3, 9)], num_vertices=10)
+        res = connected_components(g)
+        assert res.labels[5] == res.labels[3] == res.labels[9] == 3
+
+    def test_matches_networkx(self, small_rmat, small_rmat_nx):
+        res = connected_components(small_rmat)
+        assert res.num_components == nx.number_connected_components(
+            small_rmat_nx
+        )
+        # Same partition: labels must be constant on each nx component.
+        for comp in nx.connected_components(small_rmat_nx):
+            comp = list(comp)
+            assert len({int(res.labels[v]) for v in comp}) == 1
+
+    def test_ring(self):
+        res = connected_components(ring_graph(50))
+        assert res.num_components == 1
+        assert np.all(res.labels == 0)
+
+    def test_all_isolated(self):
+        g = from_edge_list([], num_vertices=5)
+        res = connected_components(g)
+        assert res.num_components == 5
+        assert res.num_iterations == 1  # single no-change sweep
+
+    def test_directed_rejected(self):
+        g = from_edge_list([(0, 1)], directed=True)
+        with pytest.raises(ValueError, match="undirected"):
+            connected_components(g)
+
+    def test_max_iterations_cap(self):
+        res = connected_components(ring_graph(64), max_iterations=1)
+        assert res.num_iterations == 1
+
+
+class TestExecutionProfile:
+    """The properties Fig. 1 (right panel) relies on."""
+
+    def test_constant_work_per_iteration(self, small_rmat):
+        """All edges are examined in all iterations (paper §III)."""
+        res = connected_components(small_rmat)
+        reads = [r.reads for r in res.trace if r.name == "cc/iteration"]
+        assert len(reads) == res.num_iterations
+        for r in res.trace:
+            assert r.reads >= 2 * small_rmat.num_arcs
+
+    def test_parallelism_is_edge_count(self, small_rmat):
+        res = connected_components(small_rmat)
+        for r in res.trace:
+            assert r.parallel_items == small_rmat.num_arcs
+
+    def test_few_iterations_on_small_world(self, small_rmat):
+        """Label propagation fixes most labels early (paper: 6 iterations
+        at scale 24; miniatures converge in <= 6)."""
+        res = connected_components(small_rmat)
+        assert 2 <= res.num_iterations <= 6
+        # Almost everything changes in the first iteration, little after.
+        assert res.changes_per_iteration[0] > 10 * max(
+            res.changes_per_iteration[1], 1
+        )
+
+    def test_last_iteration_has_no_changes(self, small_rmat):
+        res = connected_components(small_rmat)
+        assert res.changes_per_iteration[-1] == 0
+
+    def test_writes_match_changes(self, small_rmat):
+        res = connected_components(small_rmat)
+        writes = [r.writes for r in res.trace]
+        assert writes == [float(c) for c in res.changes_per_iteration]
+
+    def test_grid_takes_more_iterations_than_rmat(self, small_rmat):
+        """Large-diameter topologies need more sweeps."""
+        grid = two_d_grid(40, 40)
+        res_grid = connected_components(grid)
+        res_rmat = connected_components(small_rmat)
+        assert res_grid.num_iterations >= res_rmat.num_iterations
+
+    def test_star_converges_in_two(self):
+        res = connected_components(star_graph(100))
+        assert res.num_iterations == 2  # one working sweep + fixpoint check

@@ -1,0 +1,93 @@
+"""Tests for networkx interoperability."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph import from_edge_list, rmat
+from repro.graph.interop import from_networkx, to_networkx
+
+
+class TestToNetworkx:
+    def test_undirected(self):
+        g = from_edge_list([(0, 1), (1, 2)], num_vertices=4)
+        nxg = to_networkx(g)
+        assert not nxg.is_directed()
+        assert nxg.number_of_nodes() == 4  # isolated vertex kept
+        assert set(nxg.edges()) == {(0, 1), (1, 2)}
+
+    def test_directed(self):
+        g = from_edge_list([(0, 1), (1, 0), (1, 2)], directed=True)
+        nxg = to_networkx(g)
+        assert nxg.is_directed()
+        assert set(nxg.edges()) == {(0, 1), (1, 0), (1, 2)}
+
+    def test_weights_transfer(self):
+        g = from_edge_list([(0, 1)], weights=[2.5])
+        nxg = to_networkx(g)
+        assert nxg[0][1]["weight"] == 2.5
+
+    def test_rmat_round_trip(self):
+        g = rmat(scale=8, edge_factor=8, seed=1)
+        back = from_networkx(to_networkx(g))
+        assert np.array_equal(g.row_ptr, back.row_ptr)
+        assert np.array_equal(g.col_idx, back.col_idx)
+
+
+class TestFromNetworkx:
+    def test_basic(self):
+        nxg = nx.Graph([(0, 1), (1, 2)])
+        g = from_networkx(nxg)
+        assert g.num_vertices == 3
+        assert sorted(g.edges()) == [(0, 1), (1, 2)]
+
+    def test_directed(self):
+        nxg = nx.DiGraph([(0, 1)])
+        g = from_networkx(nxg)
+        assert g.directed
+        assert g.has_edge(0, 1) and not g.has_edge(1, 0)
+
+    def test_weighted(self):
+        nxg = nx.Graph()
+        nxg.add_edge(0, 1, weight=4.0)
+        g = from_networkx(nxg)
+        assert g.is_weighted
+        assert g.edge_weights(0).tolist() == [4.0]
+
+    def test_partial_weights_dropped(self):
+        nxg = nx.Graph()
+        nxg.add_edge(0, 1, weight=4.0)
+        nxg.add_edge(1, 2)
+        g = from_networkx(nxg)
+        assert not g.is_weighted
+
+    def test_empty(self):
+        g = from_networkx(nx.Graph())
+        assert g.num_vertices == 0
+
+    def test_noninteger_labels_rejected(self):
+        nxg = nx.Graph([("a", "b")])
+        with pytest.raises(ValueError, match="integer"):
+            from_networkx(nxg)
+
+    def test_sparse_labels_rejected(self):
+        nxg = nx.Graph([(0, 10)])
+        with pytest.raises(ValueError, match="integer"):
+            from_networkx(nxg)
+
+    def test_isolated_nodes_kept(self):
+        nxg = nx.Graph()
+        nxg.add_nodes_from(range(5))
+        nxg.add_edge(0, 1)
+        g = from_networkx(nxg)
+        assert g.num_vertices == 5
+        assert g.degree(4) == 0
+
+    def test_kernel_agreement_via_interop(self):
+        """End-to-end: import from networkx, run a kernel, compare."""
+        from repro.graphct import connected_components
+
+        nxg = nx.erdos_renyi_graph(60, 0.05, seed=4)
+        g = from_networkx(nxg)
+        ours = connected_components(g).num_components
+        assert ours == nx.number_connected_components(nxg)

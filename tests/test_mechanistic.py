@@ -1,0 +1,106 @@
+"""Cross-validation of the analytic cost model against the mechanistic
+(stream-scheduler) pricing — the evidence that licenses using the
+analytic model for every experiment."""
+
+import pytest
+
+from repro.analysis.workload import ExperimentConfig, build_workload
+from repro.bsp_algorithms import bsp_connected_components
+from repro.graphct import breadth_first_search, connected_components
+from repro.xmt import RegionTrace, XMTMachine
+from repro.xmt.cost_model import simulate_region
+from repro.xmt.mechanistic import price_region_mechanistically
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return XMTMachine(num_processors=128)
+
+
+@pytest.fixture(scope="module")
+def experiment_regions():
+    wl = build_workload(ExperimentConfig(scale=11))
+    regions = []
+    regions += list(connected_components(wl.graph).trace)
+    regions += list(breadth_first_search(wl.graph, wl.bfs_source).trace)
+    regions += list(bsp_connected_components(wl.graph).trace)
+    return regions
+
+
+class TestCrossValidation:
+    def test_real_regions_agree_within_25_percent(
+        self, experiment_regions, machine
+    ):
+        """Every region the experiments actually produce must price the
+        same under both models (hotspot-bound regions excluded: the
+        mechanistic path has no memory-controller model)."""
+        checked = 0
+        for region in experiment_regions:
+            analytic = simulate_region(region, machine)
+            if analytic.bound == "hotspot":
+                continue
+            mech = price_region_mechanistically(region, machine)
+            ratio = mech.cycles / max(analytic.total_cycles, 1.0)
+            assert 0.7 <= ratio <= 1.4, (
+                f"{region.name} iter {region.iteration}: ratio {ratio}"
+            )
+            checked += 1
+        assert checked >= 10  # the comparison covered real work
+
+    def test_processor_scaling_agrees(self, machine):
+        region = RegionTrace(
+            name="r", parallel_items=500_000,
+            instructions=4e6, reads=1e6, writes=5e5,
+        )
+        for p in (8, 32, 128):
+            m = machine.with_processors(p)
+            analytic = simulate_region(region, m).total_cycles
+            mech = price_region_mechanistically(region, m).cycles
+            assert 0.6 <= mech / analytic <= 1.6, f"P={p}"
+
+    def test_serial_region_priced_by_latency_chain(self, machine):
+        region = RegionTrace(
+            name="s", parallel_items=1, reads=200, instructions=200,
+        )
+        analytic = simulate_region(region, machine)
+        mech = price_region_mechanistically(region, machine)
+        assert 0.7 <= mech.cycles / analytic.total_cycles <= 1.4
+
+
+class TestMechanisticEdgeCases:
+    def test_empty_region_costs_overhead_only(self, machine):
+        region = RegionTrace(name="empty", parallel_items=0)
+        price = price_region_mechanistically(region, machine)
+        analytic = simulate_region(region, machine)
+        assert price.cycles == pytest.approx(analytic.overhead_cycles)
+        assert price.utilization == 0.0
+
+    def test_superstep_overhead_included(self, machine):
+        loop = RegionTrace(name="l", parallel_items=10, instructions=100)
+        superstep = RegionTrace(
+            name="s", parallel_items=10, instructions=100, kind="superstep"
+        )
+        diff = (
+            price_region_mechanistically(superstep, machine).cycles
+            - price_region_mechanistically(loop, machine).cycles
+        )
+        assert diff == pytest.approx(machine.superstep_overhead_cycles)
+
+    def test_sampling_kicks_in_for_huge_regions(self, machine):
+        region = RegionTrace(
+            name="huge", parallel_items=10_000_000,
+            instructions=5e9, reads=1e9,
+        )
+        price = price_region_mechanistically(region, machine)
+        assert price.sampling_factor < 1.0
+        analytic = simulate_region(region, machine)
+        assert 0.5 <= price.cycles / analytic.total_cycles <= 2.0
+
+    def test_pure_alu_region_high_utilization(self, machine):
+        region = RegionTrace(
+            name="alu", parallel_items=100_000, instructions=1e6,
+        )
+        price = price_region_mechanistically(region, machine)
+        # Short 10-instruction chains leave a pipeline-drain tail; the
+        # scheduler still keeps the issue slot >80% busy.
+        assert price.utilization > 0.8

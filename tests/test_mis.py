@@ -1,0 +1,115 @@
+"""Tests for maximal independent set in both programming models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bsp import BSPEngine
+from repro.bsp_algorithms.mis import (
+    _IN_SET,
+    BSPLubyMIS,
+    bsp_maximal_independent_set,
+)
+from repro.graph import from_edge_list, ring_graph, rmat, star_graph
+from repro.graphct.mis import maximal_independent_set
+
+
+def assert_valid_mis(graph, in_set):
+    """Independence + maximality — the defining invariants."""
+    src, dst = graph.arc_sources(), graph.col_idx
+    assert not np.any(in_set[src] & in_set[dst]), "set not independent"
+    for v in np.flatnonzero(~in_set):
+        assert in_set[graph.neighbors(v)].any(), (
+            f"vertex {v} excluded without a member neighbour"
+        )
+
+
+class TestGreedyMIS:
+    def test_valid_on_rmat(self, small_rmat):
+        res = maximal_independent_set(small_rmat)
+        assert_valid_mis(small_rmat, res.in_set)
+
+    def test_lexicographically_first(self):
+        g = from_edge_list([(0, 1), (1, 2), (2, 3)])
+        res = maximal_independent_set(g)
+        assert res.in_set.tolist() == [True, False, True, False]
+
+    def test_isolated_vertices_always_in(self):
+        g = from_edge_list([(0, 1)], num_vertices=4)
+        res = maximal_independent_set(g)
+        assert res.in_set[2] and res.in_set[3]
+
+    def test_star(self):
+        res = maximal_independent_set(star_graph(5))
+        assert res.in_set[0]  # hub is vertex 0, greedy takes it first
+        assert res.size == 1
+
+    def test_directed_rejected(self):
+        with pytest.raises(ValueError):
+            maximal_independent_set(from_edge_list([(0, 1)], directed=True))
+
+
+class TestLubyMIS:
+    def test_valid_on_rmat(self, small_rmat):
+        res = bsp_maximal_independent_set(small_rmat)
+        assert_valid_mis(small_rmat, res.in_set)
+
+    def test_logarithmic_rounds(self, small_rmat):
+        res = bsp_maximal_independent_set(small_rmat)
+        assert res.num_rounds <= 12  # O(log n) w.h.p., n = 1024
+
+    def test_engine_equivalence(self):
+        g = rmat(scale=7, edge_factor=8, seed=4)
+        for seed in (0, 3):
+            eng = BSPEngine(g).run(BSPLubyMIS(seed=seed))
+            vec = bsp_maximal_independent_set(g, seed=seed)
+            assert np.array_equal(
+                np.asarray(eng.values) == _IN_SET, vec.in_set
+            )
+
+    def test_seed_changes_set_not_validity(self, small_rmat):
+        a = bsp_maximal_independent_set(small_rmat, seed=1)
+        b = bsp_maximal_independent_set(small_rmat, seed=2)
+        assert not np.array_equal(a.in_set, b.in_set)
+        assert_valid_mis(small_rmat, a.in_set)
+        assert_valid_mis(small_rmat, b.in_set)
+
+    def test_isolated_vertices_join(self):
+        g = from_edge_list([(0, 1)], num_vertices=4)
+        res = bsp_maximal_independent_set(g)
+        assert res.in_set[2] and res.in_set[3]
+
+    def test_two_supersteps_per_round(self, small_rmat):
+        res = bsp_maximal_independent_set(small_rmat)
+        assert res.num_supersteps == 2 * res.num_rounds
+        assert len(res.messages_per_superstep) == res.num_supersteps
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bsp_maximal_independent_set(ring_graph(4), max_rounds=0)
+        with pytest.raises(ValueError):
+            bsp_maximal_independent_set(
+                from_edge_list([(0, 1)], directed=True)
+            )
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_property_valid_mis(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=16))
+        m = data.draw(st.integers(min_value=0, max_value=40))
+        edges = data.draw(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=n - 1),
+                    st.integers(min_value=0, max_value=n - 1),
+                ),
+                min_size=m, max_size=m,
+            )
+        )
+        seed = data.draw(st.integers(min_value=0, max_value=100))
+        g = from_edge_list(edges, n)
+        res = bsp_maximal_independent_set(g, seed=seed)
+        assert_valid_mis(g, res.in_set)
+        greedy = maximal_independent_set(g)
+        assert_valid_mis(g, greedy.in_set)

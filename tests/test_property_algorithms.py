@@ -1,0 +1,217 @@
+"""Property-based tests (hypothesis): algorithm invariants and
+cross-model equivalence on random graphs."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bsp import BSPEngine
+from repro.bsp_algorithms import (
+    BSPBreadthFirstSearch,
+    BSPConnectedComponents,
+    bsp_breadth_first_search,
+    bsp_connected_components,
+    bsp_count_triangles,
+    bsp_sssp,
+)
+from repro.graph import from_edge_list
+from repro.graphct import (
+    breadth_first_search,
+    connected_components,
+    count_triangles,
+    k_core_decomposition,
+    sssp,
+)
+
+
+@st.composite
+def graphs(draw, max_vertices=20, max_edges=50):
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    return from_edge_list(edges, n)
+
+
+class TestConnectedComponentsProperties:
+    @given(graphs())
+    @settings(max_examples=60)
+    def test_bsp_and_shared_memory_agree(self, g):
+        assert np.array_equal(
+            bsp_connected_components(g).labels,
+            connected_components(g).labels,
+        )
+
+    @given(graphs())
+    @settings(max_examples=60)
+    def test_labels_respect_edges(self, g):
+        labels = connected_components(g).labels
+        src, dst = g.arc_sources(), g.col_idx
+        assert np.all(labels[src] == labels[dst])
+
+    @given(graphs())
+    @settings(max_examples=60)
+    def test_label_is_minimum_member(self, g):
+        labels = connected_components(g).labels
+        for lbl in np.unique(labels):
+            assert np.flatnonzero(labels == lbl).min() == lbl
+
+    @given(graphs(max_vertices=12, max_edges=24))
+    @settings(max_examples=25, deadline=None)
+    def test_engine_matches_vectorized(self, g):
+        eng = BSPEngine(g).run(BSPConnectedComponents())
+        vec = bsp_connected_components(g)
+        assert np.array_equal(
+            eng.values_array(dtype=np.int64), vec.labels
+        )
+        assert eng.messages_per_superstep == vec.messages_per_superstep
+
+
+class TestBFSProperties:
+    @given(graphs(), st.data())
+    @settings(max_examples=60)
+    def test_bsp_and_shared_memory_agree(self, g, data):
+        src = data.draw(
+            st.integers(min_value=0, max_value=g.num_vertices - 1)
+        )
+        assert np.array_equal(
+            bsp_breadth_first_search(g, src).distances,
+            breadth_first_search(g, src).distances,
+        )
+
+    @given(graphs(), st.data())
+    @settings(max_examples=60)
+    def test_triangle_inequality_on_edges(self, g, data):
+        """Adjacent vertices' BFS distances differ by at most 1."""
+        src = data.draw(
+            st.integers(min_value=0, max_value=g.num_vertices - 1)
+        )
+        dist = breadth_first_search(g, src).distances
+        u, v = g.arc_sources(), g.col_idx
+        both = (dist[u] >= 0) & (dist[v] >= 0)
+        assert np.all(np.abs(dist[u[both]] - dist[v[both]]) <= 1)
+        # Reachability is symmetric along an edge.
+        assert np.all((dist[u] >= 0) == (dist[v] >= 0))
+
+    @given(graphs(max_vertices=12, max_edges=24), st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_engine_matches_vectorized(self, g, data):
+        src = data.draw(
+            st.integers(min_value=0, max_value=g.num_vertices - 1)
+        )
+        eng = BSPEngine(g).run(BSPBreadthFirstSearch(src))
+        vec = bsp_breadth_first_search(g, src)
+        eng_dist = np.asarray(
+            [-1 if x is None else x for x in eng.values], dtype=np.int64
+        )
+        assert np.array_equal(eng_dist, vec.distances)
+
+    @given(graphs(), st.data())
+    @settings(max_examples=40)
+    def test_messages_equal_frontier_incident_arcs(self, g, data):
+        src = data.draw(
+            st.integers(min_value=0, max_value=g.num_vertices - 1)
+        )
+        bsp = bsp_breadth_first_search(g, src)
+        deg = g.degrees()
+        dist = bsp.distances
+        for level, msgs in enumerate(bsp.messages_per_superstep):
+            frontier = np.flatnonzero(dist == level)
+            assert msgs == int(deg[frontier].sum())
+
+
+class TestTriangleProperties:
+    @given(graphs())
+    @settings(max_examples=50)
+    def test_bsp_and_shared_memory_agree(self, g):
+        assert (
+            bsp_count_triangles(g).total_triangles
+            == count_triangles(g).total_triangles
+        )
+
+    @given(graphs())
+    @settings(max_examples=50)
+    def test_per_vertex_sums_to_three_per_triangle(self, g):
+        res = count_triangles(g)
+        assert int(res.per_vertex.sum()) == 3 * res.total_triangles
+
+    @given(graphs())
+    @settings(max_examples=50)
+    def test_ordering_invariance(self, g):
+        assert (
+            count_triangles(g, ordering="id").total_triangles
+            == count_triangles(g, ordering="degree").total_triangles
+        )
+
+    @given(graphs())
+    @settings(max_examples=50)
+    def test_triangles_bounded_by_wedges(self, g):
+        res = count_triangles(g)
+        assert res.total_triangles <= res.wedges_checked
+
+
+class TestSSSPProperties:
+    @given(graphs(), st.data())
+    @settings(max_examples=40)
+    def test_unweighted_sssp_equals_bfs(self, g, data):
+        src = data.draw(
+            st.integers(min_value=0, max_value=g.num_vertices - 1)
+        )
+        d_bfs = breadth_first_search(g, src).distances
+        d_sssp = sssp(g, src).distances
+        reached = d_bfs >= 0
+        assert np.array_equal(d_sssp[reached], d_bfs[reached].astype(float))
+        assert np.all(np.isinf(d_sssp[~reached]))
+
+    @given(graphs(), st.data())
+    @settings(max_examples=40)
+    def test_bsp_sssp_matches_shared(self, g, data):
+        src = data.draw(
+            st.integers(min_value=0, max_value=g.num_vertices - 1)
+        )
+        assert np.array_equal(
+            bsp_sssp(g, src).distances, sssp(g, src).distances
+        )
+
+    @given(graphs(), st.data())
+    @settings(max_examples=40)
+    def test_edge_relaxation_fixpoint(self, g, data):
+        """No edge can improve a finished SSSP solution."""
+        src = data.draw(
+            st.integers(min_value=0, max_value=g.num_vertices - 1)
+        )
+        dist = sssp(g, src).distances
+        u, v = g.arc_sources(), g.col_idx
+        finite = np.isfinite(dist[u])
+        assert np.all(dist[v[finite]] <= dist[u[finite]] + 1)
+
+
+class TestKCoreProperties:
+    @given(graphs())
+    @settings(max_examples=50)
+    def test_core_number_bounded_by_degree(self, g):
+        core = k_core_decomposition(g).core_numbers
+        assert np.all(core <= g.degrees())
+
+    @given(graphs())
+    @settings(max_examples=50)
+    def test_kcore_subgraph_min_degree(self, g):
+        """Every vertex of the k-core has >= k neighbours in the k-core."""
+        res = k_core_decomposition(g)
+        k = res.max_core
+        if k == 0:
+            return
+        members = set(res.core_members(k).tolist())
+        for v in members:
+            inside = sum(
+                1 for w in g.neighbors(v).tolist() if w in members
+            )
+            assert inside >= k

@@ -1,0 +1,110 @@
+"""Property-based tests on the BSP engine with randomized programs:
+conservation and termination invariants that must hold for *any*
+well-formed vertex program."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bsp import BSPEngine, VertexProgram
+from repro.graph import from_edge_list
+
+
+class RandomFlood(VertexProgram):
+    """A deterministic pseudo-random program: each vertex forwards a
+    counter to a hashed subset of neighbours for a bounded number of
+    rounds.  Exercises arbitrary activation patterns."""
+
+    def __init__(self, rounds: int, salt: int):
+        self.rounds = rounds
+        self.salt = salt
+
+    def initial_value(self, vertex, graph):
+        return 0
+
+    def compute(self, ctx, messages):
+        ctx.value += len(messages)
+        if ctx.superstep < self.rounds:
+            for n in ctx.neighbors().tolist():
+                if (n * 2654435761 + self.salt + ctx.superstep) % 3 == 0:
+                    ctx.send(n, 1)
+        ctx.vote_to_halt()
+
+
+@st.composite
+def graph_and_program(draw):
+    n = draw(st.integers(min_value=1, max_value=14))
+    m = draw(st.integers(min_value=0, max_value=30))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            min_size=m, max_size=m,
+        )
+    )
+    rounds = draw(st.integers(min_value=0, max_value=5))
+    salt = draw(st.integers(min_value=0, max_value=10**6))
+    return from_edge_list(edges, n), RandomFlood(rounds, salt)
+
+
+class TestEngineInvariants:
+    @given(graph_and_program())
+    @settings(max_examples=40, deadline=None)
+    def test_message_conservation(self, data):
+        """Every sent message is delivered exactly once: the sum of
+        per-vertex receive counts equals the messages sent."""
+        graph, program = data
+        res = BSPEngine(graph).run(program)
+        delivered = sum(res.values)  # program counts receipts
+        sent = res.total_messages
+        assert delivered == sent
+
+    @given(graph_and_program())
+    @settings(max_examples=40, deadline=None)
+    def test_terminates_within_round_bound(self, data):
+        """Sends stop after `rounds`, so supersteps <= rounds + 2."""
+        graph, program = data
+        res = BSPEngine(graph).run(program)
+        assert res.num_supersteps <= program.rounds + 2
+
+    @given(graph_and_program())
+    @settings(max_examples=40, deadline=None)
+    def test_histories_parallel(self, data):
+        graph, program = data
+        res = BSPEngine(graph).run(program)
+        assert len(res.active_per_superstep) == res.num_supersteps
+        assert len(res.messages_per_superstep) == res.num_supersteps
+        assert len(res.trace) == res.num_supersteps
+
+    @given(graph_and_program())
+    @settings(max_examples=40, deadline=None)
+    def test_last_superstep_sends_nothing(self, data):
+        graph, program = data
+        res = BSPEngine(graph).run(program)
+        assert res.messages_per_superstep[-1] == 0
+
+    @given(graph_and_program())
+    @settings(max_examples=30, deadline=None)
+    def test_rerun_is_deterministic(self, data):
+        graph, program = data
+        a = BSPEngine(graph).run(program)
+        b = BSPEngine(graph).run(program)
+        assert a.values == b.values
+        assert a.messages_per_superstep == b.messages_per_superstep
+
+    @given(graph_and_program())
+    @settings(max_examples=30, deadline=None)
+    def test_trace_writes_account_messages(self, data):
+        """Trace write accounting matches the send counts (the relation
+        with_queue_design relies on)."""
+        from repro.xmt.calibration import DEFAULT_COSTS
+
+        graph, program = data
+        res = BSPEngine(graph).run(program)
+        for region, sent, active in zip(
+            res.trace, res.messages_per_superstep, res.active_per_superstep
+        ):
+            expected = sent * DEFAULT_COSTS.message_enqueue_writes + active
+            assert region.writes == expected

@@ -1,0 +1,182 @@
+"""Property-based tests (hypothesis): machine model and BSP framework
+invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bsp.combiners import MaxCombiner, MinCombiner, SumCombiner
+from repro.bsp.messages import MessageBuffer
+from repro.xmt import RegionTrace, WorkTrace, XMTMachine
+from repro.xmt.cost_model import simulate, simulate_region
+
+
+@st.composite
+def regions(draw):
+    items = draw(st.integers(min_value=0, max_value=10**7))
+    instructions = draw(st.floats(min_value=0, max_value=1e9))
+    reads = draw(st.floats(min_value=0, max_value=1e8))
+    writes = draw(st.floats(min_value=0, max_value=1e8))
+    atomics = draw(st.floats(min_value=0, max_value=1e6))
+    max_site = draw(st.floats(min_value=0, max_value=1.0)) * atomics
+    kind = draw(st.sampled_from(["loop", "superstep", "serial"]))
+    return RegionTrace(
+        name="r",
+        parallel_items=items,
+        instructions=instructions,
+        reads=reads,
+        writes=writes,
+        atomics=atomics,
+        atomic_max_site=max_site,
+        kind=kind,
+    )
+
+
+class TestCostModelProperties:
+    @given(regions())
+    def test_time_is_positive_and_finite(self, region):
+        sim = simulate_region(region, XMTMachine())
+        assert np.isfinite(sim.seconds)
+        assert sim.seconds >= 0
+
+    @given(regions(), st.integers(min_value=1, max_value=6))
+    def test_more_processors_never_slower_modulo_barrier(self, region, k):
+        """Doubling P can only add barrier cost, never compute time."""
+        small = XMTMachine(num_processors=2**k)
+        big = XMTMachine(num_processors=2 ** (k + 1))
+        t_small = simulate_region(region, small)
+        t_big = simulate_region(region, big)
+        compute_small = t_small.total_cycles - t_small.overhead_cycles
+        compute_big = t_big.total_cycles - t_big.overhead_cycles
+        assert compute_big <= compute_small + 1e-6
+
+    @given(regions())
+    def test_speedup_bounded_by_processor_ratio(self, region):
+        t8 = simulate_region(region, XMTMachine(num_processors=8))
+        t128 = simulate_region(region, XMTMachine(num_processors=128))
+        assert t8.seconds / max(t128.seconds, 1e-30) <= 16.0 + 1e-9
+
+    @given(regions(), st.floats(min_value=0.1, max_value=100.0))
+    def test_scaling_work_scales_bounds(self, region, factor):
+        base = simulate_region(region, XMTMachine())
+        scaled = simulate_region(region.scaled(factor), XMTMachine())
+        # Scaling work cannot reduce any bound (items also scale, so
+        # latency can improve sublinearly, but never below the original
+        # when factor >= 1).
+        if factor >= 1:
+            assert scaled.issue_cycles >= base.issue_cycles - 1e-6
+            assert scaled.hotspot_cycles >= base.hotspot_cycles - 1e-6
+
+    @given(regions())
+    def test_hotspot_independent_of_processors(self, region):
+        a = simulate_region(region, XMTMachine(num_processors=8))
+        b = simulate_region(region, XMTMachine(num_processors=128))
+        assert a.hotspot_cycles == b.hotspot_cycles
+
+    @given(st.lists(regions(), min_size=1, max_size=8))
+    def test_run_total_is_sum_of_regions(self, region_list):
+        trace = WorkTrace(regions=region_list)
+        run = simulate(trace, XMTMachine())
+        assert run.total_seconds == sum(r.seconds for r in run.regions)
+
+    @given(regions())
+    def test_bound_label_consistent(self, region):
+        sim = simulate_region(region, XMTMachine())
+        best = max(sim.issue_cycles, sim.latency_cycles, sim.hotspot_cycles)
+        if sim.bound == "overhead":
+            assert best <= 0
+        else:
+            assert getattr(sim, f"{sim.bound}_cycles") == best
+
+
+class TestTraceScalingProperties:
+    @given(regions(), st.floats(min_value=0.01, max_value=1000.0))
+    def test_scaled_counts_proportional(self, region, factor):
+        s = region.scaled(factor)
+        assert s.instructions == region.instructions * factor
+        assert s.reads == region.reads * factor
+        assert s.atomics == region.atomics * factor
+
+    @given(regions())
+    def test_scaling_identity(self, region):
+        s = region.scaled(1.0)
+        assert s.instructions == region.instructions
+        assert s.parallel_items in (
+            region.parallel_items,
+            max(region.parallel_items, 1),
+        )
+
+
+class TestCombinerAlgebra:
+    @given(
+        st.sampled_from([MinCombiner(), MaxCombiner(), SumCombiner()]),
+        st.integers(min_value=-1000, max_value=1000),
+        st.integers(min_value=-1000, max_value=1000),
+        st.integers(min_value=-1000, max_value=1000),
+    )
+    def test_associative(self, combiner, a, b, c):
+        left = combiner.combine(combiner.combine(a, b), c)
+        right = combiner.combine(a, combiner.combine(b, c))
+        assert left == right
+
+    @given(
+        st.sampled_from([MinCombiner(), MaxCombiner(), SumCombiner()]),
+        st.integers(min_value=-1000, max_value=1000),
+        st.integers(min_value=-1000, max_value=1000),
+    )
+    def test_commutative(self, combiner, a, b):
+        assert combiner.combine(a, b) == combiner.combine(b, a)
+
+
+@st.composite
+def send_batches(draw):
+    n = draw(st.integers(min_value=1, max_value=16))
+    sends = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=-100, max_value=100),
+            ),
+            max_size=60,
+        )
+    )
+    return n, sends
+
+
+class TestMessageBufferProperties:
+    @given(send_batches())
+    def test_conservation_without_combiner(self, batch):
+        n, sends = batch
+        buf = MessageBuffer(n)
+        for target, payload in sends:
+            buf.send(0, target, payload)
+        delivered = sum(len(buf.messages_for(v)) for v in range(n))
+        assert delivered == len(sends)
+        assert buf.total_sent == len(sends)
+        assert int(buf.enqueues_per_destination.sum()) == len(sends)
+
+    @given(send_batches())
+    def test_min_combiner_keeps_minimum_per_destination(self, batch):
+        n, sends = batch
+        buf = MessageBuffer(n, MinCombiner())
+        expected: dict[int, int] = {}
+        for target, payload in sends:
+            buf.send(0, target, payload)
+            expected[target] = min(expected.get(target, payload), payload)
+        for v in range(n):
+            msgs = buf.messages_for(v)
+            if v in expected:
+                assert msgs == [expected[v]]
+            else:
+                assert msgs == []
+
+    @given(send_batches())
+    def test_queue_pressure_is_max_histogram(self, batch):
+        n, sends = batch
+        buf = MessageBuffer(n)
+        for target, payload in sends:
+            buf.send(0, target, payload)
+        hist = np.zeros(n, dtype=int)
+        for target, _ in sends:
+            hist[target] += 1
+        assert buf.max_queue_pressure() == hist.max(initial=0)

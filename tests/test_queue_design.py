@@ -1,0 +1,99 @@
+"""Tests for the message-queue design re-accounting (§VII)."""
+
+import pytest
+
+from repro.bsp.instrumentation import QUEUE_DESIGNS, with_queue_design
+from repro.bsp_algorithms import bsp_connected_components
+from repro.graph import rmat
+from repro.xmt.calibration import DEFAULT_COSTS
+from repro.xmt.cost_model import simulate
+from repro.xmt.machine import XMTMachine
+from repro.xmt.trace import RegionTrace, WorkTrace
+
+
+@pytest.fixture(scope="module")
+def bsp_trace():
+    return bsp_connected_components(
+        rmat(scale=11, edge_factor=16, seed=1)
+    ).trace
+
+
+class TestRewriting:
+    def test_per_vertex_is_identity(self, bsp_trace):
+        out = with_queue_design(bsp_trace, "per-vertex", DEFAULT_COSTS)
+        assert [r.atomic_max_site for r in out] == [
+            r.atomic_max_site for r in bsp_trace
+        ]
+
+    def test_single_tail_hotspot_equals_messages(self, bsp_trace):
+        out = with_queue_design(bsp_trace, "single-tail", DEFAULT_COSTS)
+        for before, after in zip(bsp_trace, out):
+            if before.kind != "superstep" or before.atomics <= 0:
+                continue
+            sent = (
+                before.writes - before.parallel_items
+            ) / DEFAULT_COSTS.message_enqueue_writes
+            if sent > 0:
+                assert after.atomic_max_site == pytest.approx(sent)
+
+    def test_chunked_divides_by_chunk(self, bsp_trace):
+        single = with_queue_design(bsp_trace, "single-tail", DEFAULT_COSTS)
+        chunked = with_queue_design(
+            bsp_trace, "chunked", DEFAULT_COSTS, chunk=64
+        )
+        for s, c in zip(single, chunked):
+            if s.atomic_max_site > 0 and s.kind == "superstep":
+                # ceil(sent/64): at least 32x smaller, floored at one
+                # reservation for near-empty supersteps.
+                assert c.atomic_max_site <= max(s.atomic_max_site / 32, 1)
+
+    def test_non_superstep_regions_untouched(self):
+        t = WorkTrace()
+        t.add(RegionTrace(name="loop", parallel_items=10, writes=100,
+                          atomics=5, atomic_max_site=2))
+        out = with_queue_design(t, "single-tail", DEFAULT_COSTS)
+        assert out.regions[0].atomic_max_site == 2
+
+    def test_unknown_design_rejected(self, bsp_trace):
+        with pytest.raises(ValueError, match="design"):
+            with_queue_design(bsp_trace, "lockfree", DEFAULT_COSTS)
+
+    def test_label_annotated(self, bsp_trace):
+        out = with_queue_design(bsp_trace, "chunked", DEFAULT_COSTS)
+        assert "[chunked]" in out.label
+
+
+class TestScalingConsequences:
+    """§VII quantified: the naive queue inhibits scalability."""
+
+    @pytest.mark.parametrize("design", QUEUE_DESIGNS)
+    def test_designs_price_consistently(self, bsp_trace, design):
+        t = with_queue_design(bsp_trace, design, DEFAULT_COSTS)
+        assert simulate(t, XMTMachine()).total_seconds > 0
+
+    def test_single_tail_flattens_scaling(self, bsp_trace):
+        scaled = {
+            d: with_queue_design(bsp_trace, d, DEFAULT_COSTS).scaled(1024)
+            for d in ("single-tail", "per-vertex")
+        }
+        speedup = {}
+        for d, t in scaled.items():
+            t8 = simulate(t, XMTMachine(num_processors=8)).total_seconds
+            t128 = simulate(t, XMTMachine(num_processors=128)).total_seconds
+            speedup[d] = t8 / t128
+        assert speedup["single-tail"] < 2.5
+        assert speedup["per-vertex"] > 8
+
+    def test_single_tail_slower_at_full_machine(self, bsp_trace):
+        m = XMTMachine(num_processors=128)
+        single = simulate(
+            with_queue_design(bsp_trace, "single-tail", DEFAULT_COSTS)
+            .scaled(1024),
+            m,
+        ).total_seconds
+        per_vertex = simulate(
+            with_queue_design(bsp_trace, "per-vertex", DEFAULT_COSTS)
+            .scaled(1024),
+            m,
+        ).total_seconds
+        assert single > 3 * per_vertex

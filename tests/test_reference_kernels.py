@@ -1,0 +1,106 @@
+"""Tests for the XMT-primitive reference kernels (independent oracle for
+the vectorized kernels, and end-to-end exercise of full/empty +
+fetch-and-add)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import from_edge_list, path_graph, ring_graph, rmat
+from repro.graphct import breadth_first_search, connected_components
+from repro.graphct.reference import (
+    reference_bfs,
+    reference_connected_components,
+)
+
+
+class TestReferenceBFS:
+    def test_path(self):
+        dist, ops = reference_bfs(path_graph(5), 0)
+        assert dist.tolist() == [0, 1, 2, 3, 4]
+        assert ops.atomics >= 5  # one queue reservation per vertex
+
+    def test_matches_vectorized(self):
+        g = rmat(scale=8, edge_factor=8, seed=3)
+        src = int(np.argmax(g.degrees()))
+        ref, _ = reference_bfs(g, src)
+        vec = breadth_first_search(g, src).distances
+        assert np.array_equal(ref, vec)
+
+    def test_unreachable(self):
+        g = from_edge_list([(0, 1), (2, 3)])
+        dist, _ = reference_bfs(g, 0)
+        assert dist.tolist() == [0, 1, -1, -1]
+
+    def test_source_validated(self):
+        with pytest.raises(IndexError):
+            reference_bfs(ring_graph(3), 5)
+
+    def test_op_counter_accounts_queue_traffic(self):
+        g = ring_graph(10)
+        _, ops = reference_bfs(g, 0)
+        assert ops.atomics == 10   # every vertex enqueued once
+        assert ops.reads > 0 and ops.writes > 0
+
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_vectorized(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=14))
+        m = data.draw(st.integers(min_value=0, max_value=30))
+        edges = data.draw(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=n - 1),
+                    st.integers(min_value=0, max_value=n - 1),
+                ),
+                min_size=m, max_size=m,
+            )
+        )
+        g = from_edge_list(edges, n)
+        src = data.draw(st.integers(min_value=0, max_value=n - 1))
+        ref, _ = reference_bfs(g, src)
+        vec = breadth_first_search(g, src).distances
+        assert np.array_equal(ref, vec)
+
+
+class TestReferenceCC:
+    def test_two_components(self):
+        g = from_edge_list([(0, 1), (1, 2), (3, 4)], num_vertices=6)
+        labels, _ = reference_connected_components(g)
+        assert labels.tolist() == [0, 0, 0, 3, 3, 5]
+
+    def test_matches_vectorized(self):
+        g = rmat(scale=8, edge_factor=8, seed=6)
+        ref, _ = reference_connected_components(g)
+        vec = connected_components(g).labels
+        assert np.array_equal(ref, vec)
+
+    def test_directed_rejected(self):
+        with pytest.raises(ValueError):
+            reference_connected_components(
+                from_edge_list([(0, 1)], directed=True)
+            )
+
+    def test_termination_counter_used(self):
+        _, ops = reference_connected_components(ring_graph(8))
+        assert ops.atomics > 0
+
+    @given(st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_property_matches_vectorized(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=12))
+        m = data.draw(st.integers(min_value=0, max_value=24))
+        edges = data.draw(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=n - 1),
+                    st.integers(min_value=0, max_value=n - 1),
+                ),
+                min_size=m, max_size=m,
+            )
+        )
+        g = from_edge_list(edges, n)
+        ref, _ = reference_connected_components(g)
+        vec = connected_components(g).labels
+        assert np.array_equal(ref, vec)

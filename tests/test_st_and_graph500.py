@@ -1,0 +1,158 @@
+"""Tests for st-connectivity and the Graph500 harness/validator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.graph500 import (
+    BFSValidationError,
+    run_graph500,
+    validate_bfs_result,
+)
+from repro.graph import from_edge_list, path_graph, ring_graph, rmat
+from repro.graphct import breadth_first_search
+from repro.graphct.st_connectivity import st_connectivity
+
+
+class TestSTConnectivity:
+    def test_path_graph(self):
+        res = st_connectivity(path_graph(10), 0, 9)
+        assert res.connected
+        assert res.path_length == 9
+
+    def test_same_vertex(self):
+        res = st_connectivity(ring_graph(5), 3, 3)
+        assert res.connected and res.path_length == 0
+        assert res.vertices_touched == 1
+
+    def test_adjacent(self):
+        res = st_connectivity(ring_graph(5), 0, 1)
+        assert res.path_length == 1
+
+    def test_disconnected(self):
+        g = from_edge_list([(0, 1), (2, 3)])
+        res = st_connectivity(g, 0, 3)
+        assert not res.connected
+        assert res.path_length == -1
+
+    def test_ring_halfway(self):
+        res = st_connectivity(ring_graph(20), 0, 10)
+        assert res.path_length == 10
+
+    def test_validation(self):
+        g = ring_graph(4)
+        with pytest.raises(IndexError):
+            st_connectivity(g, 0, 9)
+        with pytest.raises(ValueError, match="undirected"):
+            st_connectivity(from_edge_list([(0, 1)], directed=True), 0, 1)
+
+    def test_touches_fewer_edges_than_full_bfs(self):
+        g = rmat(scale=11, edge_factor=16, seed=1)
+        deg = g.degrees()
+        cands = np.flatnonzero(deg > 0)
+        s, t = int(cands[0]), int(cands[-1])
+        full = breadth_first_search(g, s)
+        if full.distances[t] < 0:
+            pytest.skip("endpoints not connected in this seed")
+        res = st_connectivity(g, s, t)
+        assert res.edges_examined <= sum(full.edges_examined)
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_bfs_oracle(self, data):
+        n = data.draw(st.integers(min_value=2, max_value=18))
+        m = data.draw(st.integers(min_value=0, max_value=40))
+        edges = data.draw(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=n - 1),
+                    st.integers(min_value=0, max_value=n - 1),
+                ),
+                min_size=m,
+                max_size=m,
+            )
+        )
+        g = from_edge_list(edges, n)
+        s = data.draw(st.integers(min_value=0, max_value=n - 1))
+        t = data.draw(st.integers(min_value=0, max_value=n - 1))
+        oracle = breadth_first_search(g, s).distances[t]
+        res = st_connectivity(g, s, t)
+        if oracle < 0:
+            assert not res.connected
+        else:
+            assert res.connected
+            assert res.path_length == oracle
+
+
+class TestBFSValidation:
+    def test_valid_result_passes(self, small_rmat):
+        src = int(np.flatnonzero(small_rmat.degrees() > 0)[0])
+        res = breadth_first_search(small_rmat, src)
+        validate_bfs_result(small_rmat, res)  # must not raise
+
+    def test_corrupted_depth_detected(self, small_rmat):
+        src = int(np.flatnonzero(small_rmat.degrees() > 0)[0])
+        res = breadth_first_search(small_rmat, src)
+        reached = np.flatnonzero(res.distances > 0)
+        bad = res.distances.copy()
+        bad[reached[0]] += 1
+        res.distances = bad
+        with pytest.raises(BFSValidationError):
+            validate_bfs_result(small_rmat, res)
+
+    def test_corrupted_parent_detected(self, small_rmat):
+        src = int(np.flatnonzero(small_rmat.degrees() > 0)[0])
+        res = breadth_first_search(small_rmat, src)
+        reached = np.flatnonzero(res.distances > 1)
+        bad = res.parents.copy()
+        # Point a depth-2+ vertex at the root: depth rule breaks unless
+        # they happen to be adjacent at depth 1 (excluded by selection).
+        bad[reached[0]] = src
+        res.parents = bad
+        with pytest.raises(BFSValidationError):
+            validate_bfs_result(small_rmat, res)
+
+    def test_boundary_crossing_detected(self):
+        g = from_edge_list([(0, 1), (1, 2)])
+        res = breadth_first_search(g, 0)
+        res.distances = np.array([0, 1, -1])  # 2 reachable but unmarked
+        res.parents = np.array([-1, 0, -1])
+        with pytest.raises(BFSValidationError, match="boundary"):
+            validate_bfs_result(g, res)
+
+    def test_parent_on_unreached_detected(self):
+        g = from_edge_list([(0, 1), (2, 3)])
+        res = breadth_first_search(g, 0)
+        res.parents = res.parents.copy()
+        res.parents[3] = 2
+        with pytest.raises(BFSValidationError, match="unreached"):
+            validate_bfs_result(g, res)
+
+    def test_root_rules(self):
+        g = path_graph(3)
+        res = breadth_first_search(g, 0)
+        res.parents = res.parents.copy()
+        res.parents[0] = 1
+        with pytest.raises(BFSValidationError, match="root"):
+            validate_bfs_result(g, res)
+
+
+class TestGraph500Harness:
+    def test_run_and_score(self):
+        res = run_graph500(scale=9, num_searches=4, seed=1)
+        assert res.num_searches == 4
+        assert len(res.teps["graphct"]) == 4
+        assert len(res.edges_traversed) == 4
+        # The shared-memory model posts higher TEPS (paper Table I).
+        assert res.harmonic_mean_teps("graphct") > res.harmonic_mean_teps(
+            "bsp"
+        )
+
+    def test_validates_every_search(self):
+        # Would raise BFSValidationError if any search were invalid.
+        run_graph500(scale=8, num_searches=2, seed=3)
+
+    def test_num_searches_validated(self):
+        with pytest.raises(ValueError):
+            run_graph500(scale=8, num_searches=0)

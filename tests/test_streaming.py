@@ -1,0 +1,204 @@
+"""Tests for the streaming graph and incremental clustering coefficients."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import from_edge_list, ring_graph, rmat
+from repro.graph.streaming import StreamingGraph
+from repro.graphct import clustering_coefficients, count_triangles
+from repro.graphct.streaming_clustering import (
+    StreamingClusteringCoefficients,
+)
+
+
+class TestStreamingGraph:
+    def test_insert_and_query(self):
+        g = StreamingGraph(4)
+        assert g.insert_edge(0, 1)
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert g.num_edges == 1
+        assert g.degree(0) == 1
+
+    def test_duplicate_insert_is_noop(self):
+        g = StreamingGraph(3)
+        assert g.insert_edge(0, 1)
+        assert not g.insert_edge(1, 0)
+        assert g.num_edges == 1
+
+    def test_delete(self):
+        g = StreamingGraph(3)
+        g.insert_edge(0, 1)
+        assert g.delete_edge(0, 1)
+        assert not g.has_edge(0, 1)
+        assert g.num_edges == 0
+        assert not g.delete_edge(0, 1)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self loops"):
+            StreamingGraph(2).insert_edge(1, 1)
+
+    def test_bounds_checked(self):
+        g = StreamingGraph(2)
+        with pytest.raises(IndexError):
+            g.insert_edge(0, 5)
+        with pytest.raises(IndexError):
+            g.neighbors(-1)
+
+    def test_adjacency_grows_past_initial_capacity(self):
+        g = StreamingGraph(20)
+        for v in range(1, 20):
+            g.insert_edge(0, v)
+        assert g.degree(0) == 19
+        assert sorted(g.neighbors(0).tolist()) == list(range(1, 20))
+
+    def test_batch(self):
+        g = StreamingGraph(5)
+        ins, dels = g.apply_batch(
+            insertions=[(0, 1), (1, 2), (0, 1)], deletions=[(1, 2), (3, 4)]
+        )
+        assert (ins, dels) == (2, 1)
+        assert g.num_edges == 1
+
+    def test_snapshot_round_trip(self):
+        g = StreamingGraph(5)
+        g.apply_batch(insertions=[(0, 1), (1, 2), (3, 4), (0, 2)])
+        csr = g.snapshot()
+        assert sorted(csr.edges()) == [(0, 1), (0, 2), (1, 2), (3, 4)]
+
+    def test_empty_snapshot(self):
+        csr = StreamingGraph(3).snapshot()
+        assert csr.num_vertices == 3 and csr.num_edges == 0
+
+    def test_from_csr(self):
+        csr = ring_graph(6)
+        g = StreamingGraph.from_csr(csr)
+        assert g.num_edges == 6
+        assert sorted(g.snapshot().edges()) == sorted(csr.edges())
+
+    def test_from_csr_directed_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingGraph.from_csr(
+                from_edge_list([(0, 1)], directed=True)
+            )
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_set_semantics(self, data):
+        n = data.draw(st.integers(min_value=2, max_value=12))
+        ops = data.draw(
+            st.lists(
+                st.tuples(
+                    st.booleans(),
+                    st.integers(min_value=0, max_value=n - 1),
+                    st.integers(min_value=0, max_value=n - 1),
+                ),
+                max_size=60,
+            )
+        )
+        g = StreamingGraph(n)
+        model: set[tuple[int, int]] = set()
+        for insert, u, v in ops:
+            if u == v:
+                continue
+            key = (min(u, v), max(u, v))
+            if insert:
+                assert g.insert_edge(u, v) == (key not in model)
+                model.add(key)
+            else:
+                assert g.delete_edge(u, v) == (key in model)
+                model.discard(key)
+        assert g.num_edges == len(model)
+        assert set(g.snapshot().edges()) == model
+
+
+class TestStreamingClustering:
+    def test_insert_creates_triangle(self):
+        g = StreamingGraph(3)
+        cc = StreamingClusteringCoefficients(g)
+        cc.insert_edge(0, 1)
+        cc.insert_edge(1, 2)
+        assert cc.total_triangles == 0
+        cc.insert_edge(0, 2)
+        assert cc.total_triangles == 1
+        assert cc.triangles_at(0) == 1
+        assert np.allclose(cc.local_coefficients(), 1.0)
+
+    def test_delete_removes_triangle(self):
+        g = StreamingGraph(3)
+        cc = StreamingClusteringCoefficients(g)
+        cc.apply_batch(insertions=[(0, 1), (1, 2), (0, 2)])
+        cc.delete_edge(0, 1)
+        assert cc.total_triangles == 0
+        assert cc.triangles_at(2) == 0
+
+    def test_duplicate_updates_do_not_corrupt(self):
+        g = StreamingGraph(3)
+        cc = StreamingClusteringCoefficients(g)
+        cc.apply_batch(insertions=[(0, 1), (1, 2), (0, 2)])
+        assert not cc.insert_edge(0, 1)
+        assert cc.total_triangles == 1
+        assert cc.delete_edge(0, 1)       # first delete succeeds
+        assert cc.total_triangles == 0
+        assert not cc.delete_edge(0, 1)   # second is a no-op
+        assert cc.total_triangles == 0
+
+    def test_bootstrap_from_existing_graph(self, small_rmat):
+        g = StreamingGraph.from_csr(small_rmat)
+        cc = StreamingClusteringCoefficients(g)
+        static = count_triangles(small_rmat)
+        assert cc.total_triangles == static.total_triangles
+        assert np.array_equal(cc._triangles, static.per_vertex)
+
+    def test_incremental_matches_recompute_after_batch(self):
+        base = rmat(scale=8, edge_factor=8, seed=4)
+        g = StreamingGraph.from_csr(base)
+        cc = StreamingClusteringCoefficients(g)
+        rng = np.random.default_rng(9)
+        n = base.num_vertices
+        ins = [(int(a), int(b)) for a, b in rng.integers(0, n, (50, 2))
+               if a != b]
+        existing = list(base.edges())
+        dels = [existing[i] for i in rng.integers(0, len(existing), 20)]
+        cc.apply_batch(insertions=ins, deletions=dels)
+        fresh = clustering_coefficients(g.snapshot())
+        assert cc.total_triangles == fresh.triangles.total_triangles
+        assert np.allclose(cc.local_coefficients(), fresh.local)
+        assert cc.global_coefficient() == pytest.approx(
+            fresh.global_coefficient
+        )
+
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_property_incremental_equals_static(self, data):
+        n = data.draw(st.integers(min_value=3, max_value=10))
+        ops = data.draw(
+            st.lists(
+                st.tuples(
+                    st.booleans(),
+                    st.integers(min_value=0, max_value=n - 1),
+                    st.integers(min_value=0, max_value=n - 1),
+                ),
+                max_size=40,
+            )
+        )
+        g = StreamingGraph(n)
+        cc = StreamingClusteringCoefficients(g)
+        for insert, u, v in ops:
+            if u == v:
+                continue
+            if insert:
+                cc.insert_edge(u, v)
+            else:
+                cc.delete_edge(u, v)
+        static = count_triangles(g.snapshot())
+        assert cc.total_triangles == static.total_triangles
+        assert np.array_equal(cc._triangles, static.per_vertex)
+
+    def test_trace_records_updates(self):
+        g = StreamingGraph(3)
+        cc = StreamingClusteringCoefficients(g)
+        cc.insert_edge(0, 1)
+        cc.insert_edge(1, 2)
+        assert len(cc.trace) == 2

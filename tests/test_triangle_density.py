@@ -1,0 +1,86 @@
+"""Tests for the Barabási–Albert generator and the paper's §V triangle-
+density projection: "the number of intermediate messages will grow
+quickly with a higher triangle density"."""
+
+import numpy as np
+import pytest
+
+from repro.bsp_algorithms import bsp_count_triangles
+from repro.graph import barabasi_albert, watts_strogatz
+from repro.graph.properties import degree_statistics, is_symmetric
+from repro.graphct import clustering_coefficients
+
+
+class TestBarabasiAlbert:
+    def test_size_and_simplicity(self):
+        g = barabasi_albert(300, attachments=4, seed=1)
+        assert g.num_vertices == 300
+        assert g.num_edges == (300 - 4) * 4
+        assert is_symmetric(g)
+        assert not np.any(g.arc_sources() == g.col_idx)
+
+    def test_scale_free_skew(self):
+        g = barabasi_albert(1000, attachments=4, seed=2)
+        stats = degree_statistics(g)
+        assert stats.skew > 4
+        assert stats.median_degree < stats.mean_degree
+
+    def test_deterministic(self):
+        a = barabasi_albert(200, attachments=3, seed=5)
+        b = barabasi_albert(200, attachments=3, seed=5)
+        assert np.array_equal(a.col_idx, b.col_idx)
+
+    def test_triad_closure_raises_clustering(self):
+        plain = barabasi_albert(600, attachments=6, seed=1)
+        closed = barabasi_albert(
+            600, attachments=6, seed=1, closure_prob=0.8
+        )
+        cc_plain = clustering_coefficients(plain).global_coefficient
+        cc_closed = clustering_coefficients(closed).global_coefficient
+        assert cc_closed > 1.5 * cc_plain
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_vertices": 4, "attachments": 4},
+            {"num_vertices": 10, "attachments": 0},
+            {"num_vertices": 10, "attachments": 2, "closure_prob": 1.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            barabasi_albert(**kwargs)
+
+
+class TestTriangleDensityProjection:
+    """§V: message volume tracks triangle density at fixed size."""
+
+    def test_messages_grow_with_clustering(self):
+        # Same n and degree sequence; rewiring is the clustering knob.
+        dense = watts_strogatz(2000, k=10, rewire_prob=0.02, seed=1)
+        sparse = watts_strogatz(2000, k=10, rewire_prob=0.9, seed=1)
+        cc_dense = clustering_coefficients(dense).global_coefficient
+        cc_sparse = clustering_coefficients(sparse).global_coefficient
+        assert cc_dense > 3 * cc_sparse
+
+        tri_dense = bsp_count_triangles(dense)
+        tri_sparse = bsp_count_triangles(sparse)
+        # More triangles -> more found-notification messages...
+        assert tri_dense.total_triangles > 3 * tri_sparse.total_triangles
+        # ...and a higher total message volume per edge.
+        per_edge_dense = tri_dense.total_messages / dense.num_edges
+        per_edge_sparse = tri_sparse.total_messages / sparse.num_edges
+        assert per_edge_dense > per_edge_sparse
+
+    def test_ba_closure_increases_bsp_messages(self):
+        plain = barabasi_albert(600, attachments=6, seed=3)
+        closed = barabasi_albert(
+            600, attachments=6, seed=3, closure_prob=0.8
+        )
+        tri_plain = bsp_count_triangles(plain)
+        tri_closed = bsp_count_triangles(closed)
+        assert tri_closed.total_triangles > tri_plain.total_triangles
+        assert (
+            tri_closed.messages_per_superstep[2]
+            > tri_plain.messages_per_superstep[2]
+        )

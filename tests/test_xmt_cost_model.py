@@ -1,0 +1,144 @@
+"""Tests for the analytic cost model — the regimes the paper reasons with."""
+
+import pytest
+
+from repro.xmt import (
+    PNNL_XMT,
+    RegionTrace,
+    WorkTrace,
+    XMTMachine,
+    simulate,
+)
+from repro.xmt.cost_model import simulate_region
+
+
+def big_region(**kw):
+    """A region with far more parallelism than the machine has streams."""
+    defaults = dict(
+        name="big",
+        parallel_items=10_000_000,
+        instructions=16e7,
+        reads=2e7,
+        writes=1e7,
+    )
+    defaults.update(kw)
+    return RegionTrace(**defaults)
+
+
+def tiny_region(**kw):
+    defaults = dict(
+        name="tiny", parallel_items=10, instructions=160, reads=20, writes=10
+    )
+    defaults.update(kw)
+    return RegionTrace(**defaults)
+
+
+class TestScalingRegimes:
+    def test_saturated_region_scales_linearly(self):
+        """Paper Fig. 1: 'even vertical spacing indicates linear scaling'."""
+        times = {
+            p: simulate_region(big_region(), PNNL_XMT.with_processors(p)).seconds
+            for p in (8, 16, 32, 64, 128)
+        }
+        for p in (16, 32, 64, 128):
+            speedup = times[p // 2] / times[p]
+            assert 1.7 < speedup <= 2.05, f"P={p}: speedup {speedup}"
+
+    def test_small_region_scaling_is_flat(self):
+        """Paper Fig. 3: early/late levels 'show flat scaling'."""
+        t8 = simulate_region(tiny_region(), PNNL_XMT.with_processors(8)).seconds
+        t128 = simulate_region(tiny_region(), PNNL_XMT.with_processors(128)).seconds
+        assert t128 > 0.5 * t8  # no meaningful speedup
+
+    def test_hotspot_bound_ignores_processors(self):
+        """One hot fetch-and-add word serializes regardless of P (§VII)."""
+        r = big_region(atomics=5e6, atomic_max_site=5e6)
+        t8 = simulate_region(r, PNNL_XMT.with_processors(8))
+        t128 = simulate_region(r, PNNL_XMT.with_processors(128))
+        assert t128.bound == "hotspot"
+        assert t128.hotspot_cycles == t8.hotspot_cycles
+
+    def test_sharded_atomics_do_not_hotspot(self):
+        r = big_region(atomics=5e6, atomic_max_site=100)
+        sim = simulate_region(r, PNNL_XMT)
+        assert sim.bound != "hotspot"
+
+    def test_serial_region_pays_full_latency(self):
+        r = RegionTrace(name="s", parallel_items=1, reads=1000, kind="serial")
+        sim = simulate_region(r, PNNL_XMT)
+        expected = 1000 * (PNNL_XMT.memory_latency_cycles + 1)
+        assert sim.total_cycles == pytest.approx(expected)
+        assert sim.overhead_cycles == 0.0
+
+    def test_superstep_overhead_floor(self):
+        """Near-empty BSP supersteps cost ~the runtime overhead (§IV)."""
+        empty = RegionTrace(name="ss", parallel_items=2, instructions=10,
+                            kind="superstep")
+        loop = RegionTrace(name="lp", parallel_items=2, instructions=10,
+                           kind="loop")
+        ss = simulate_region(empty, PNNL_XMT)
+        lp = simulate_region(loop, PNNL_XMT)
+        assert ss.seconds > lp.seconds
+        assert ss.overhead_cycles - lp.overhead_cycles == pytest.approx(
+            PNNL_XMT.superstep_overhead_cycles
+        )
+
+    def test_zero_item_region_costs_only_overhead(self):
+        r = RegionTrace(name="z", parallel_items=0)
+        sim = simulate_region(r, PNNL_XMT)
+        assert sim.bound == "overhead"
+        assert sim.total_cycles == sim.overhead_cycles
+
+
+class TestBounds:
+    def test_issue_bound_reachable(self):
+        # Almost pure ALU work with massive parallelism: issue bound.
+        r = RegionTrace(name="alu", parallel_items=10_000_000,
+                        instructions=1e9, reads=100.0)
+        sim = simulate_region(r, PNNL_XMT)
+        assert sim.bound == "issue"
+
+    def test_latency_bound_when_memory_heavy(self):
+        r = RegionTrace(name="mem", parallel_items=10_000_000, reads=3e7)
+        sim = simulate_region(r, PNNL_XMT)
+        assert sim.bound == "latency"
+
+    def test_more_latency_more_time(self):
+        r = big_region()
+        fast = XMTMachine(memory_latency_cycles=100.0)
+        slow = XMTMachine(memory_latency_cycles=2000.0)
+        assert (
+            simulate_region(r, slow).latency_cycles
+            > simulate_region(r, fast).latency_cycles
+        )
+
+
+class TestSimulateRun:
+    def test_totals_and_grouping(self):
+        t = WorkTrace()
+        t.add(big_region(name="a", iteration=0))
+        t.add(big_region(name="a", iteration=1))
+        t.add(tiny_region(name="b", iteration=1))
+        run = simulate(t, PNNL_XMT)
+        assert run.total_seconds == pytest.approx(
+            sum(r.seconds for r in run.regions)
+        )
+        by_iter = run.seconds_by_iteration()
+        assert set(by_iter) == {0, 1}
+        assert by_iter[1] > by_iter[0]
+        by_name = run.seconds_by_name()
+        assert set(by_name) == {"a", "b"}
+
+    def test_total_cycles_consistent_with_seconds(self):
+        t = WorkTrace()
+        t.add(big_region())
+        run = simulate(t, PNNL_XMT)
+        assert run.total_seconds == pytest.approx(
+            PNNL_XMT.seconds(run.total_cycles)
+        )
+
+    def test_unlabelled_iterations_excluded_from_series(self):
+        t = WorkTrace()
+        t.add(big_region(iteration=-1))
+        run = simulate(t, PNNL_XMT)
+        assert run.seconds_by_iteration() == {}

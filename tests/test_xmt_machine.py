@@ -1,0 +1,68 @@
+"""Tests for the XMT machine configuration."""
+
+import math
+
+import pytest
+
+from repro.xmt import PNNL_XMT, XMTMachine
+
+
+class TestValidation:
+    def test_defaults_are_the_paper_machine(self):
+        assert PNNL_XMT.num_processors == 128
+        assert PNNL_XMT.streams_per_processor == 128
+        assert PNNL_XMT.clock_hz == 500e6
+        # "over 12 thousand hardware thread contexts"
+        assert PNNL_XMT.total_streams > 12_000
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_processors": 0},
+            {"streams_per_processor": 0},
+            {"clock_hz": 0},
+            {"stream_utilization": 0.0},
+            {"stream_utilization": 1.5},
+            {"memory_latency_cycles": -1},
+            {"atomic_service_cycles": -1},
+            {"loop_startup_cycles": -1},
+            {"barrier_cycles_per_log2p": -1},
+            {"superstep_overhead_cycles": -1},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            XMTMachine(**kwargs)
+
+
+class TestDerived:
+    def test_effective_streams(self):
+        m = XMTMachine(num_processors=4, streams_per_processor=10,
+                       stream_utilization=0.5)
+        assert m.effective_streams == 20
+
+    def test_issue_bandwidth_is_processor_count(self):
+        assert XMTMachine(num_processors=16).issue_bandwidth == 16.0
+
+    def test_concurrency_clamped_to_streams(self):
+        m = XMTMachine(num_processors=2, streams_per_processor=4,
+                       stream_utilization=1.0)
+        assert m.concurrency(3) == 3
+        assert m.concurrency(100) == 8
+        assert m.concurrency(0) == 1.0
+
+    def test_barrier_grows_with_log_p(self):
+        cheap = XMTMachine(num_processors=8).barrier_cycles()
+        costly = XMTMachine(num_processors=128).barrier_cycles()
+        assert costly > cheap
+        assert costly == pytest.approx(cheap * math.log2(128) / math.log2(8))
+
+    def test_with_processors(self):
+        m = PNNL_XMT.with_processors(16)
+        assert m.num_processors == 16
+        assert m.streams_per_processor == PNNL_XMT.streams_per_processor
+        assert PNNL_XMT.num_processors == 128  # original untouched
+
+    def test_seconds(self):
+        m = XMTMachine(clock_hz=500e6)
+        assert m.seconds(500e6) == 1.0

@@ -1,0 +1,165 @@
+"""Tests for the functional XMT memory simulation."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import OpCounter
+from repro.xmt import (
+    AtomicCounter,
+    FullEmptyArray,
+    HashedMemory,
+    MemoryDeadlockError,
+)
+
+
+class TestFullEmptyArray:
+    def test_readff_leaves_full(self):
+        fe = FullEmptyArray(2, fill=7)
+        assert fe.readff(0) == 7
+        assert fe.is_full(0)
+
+    def test_readfe_consumes(self):
+        fe = FullEmptyArray(2, fill=7)
+        assert fe.readfe(0) == 7
+        assert not fe.is_full(0)
+
+    def test_readfe_on_empty_deadlocks(self):
+        fe = FullEmptyArray(1, initially_full=False)
+        with pytest.raises(MemoryDeadlockError, match="readfe"):
+            fe.readfe(0)
+
+    def test_readff_on_empty_deadlocks(self):
+        fe = FullEmptyArray(1, initially_full=False)
+        with pytest.raises(MemoryDeadlockError, match="readff"):
+            fe.readff(0)
+
+    def test_writeef_produces(self):
+        fe = FullEmptyArray(1, initially_full=False)
+        fe.writeef(0, 42)
+        assert fe.readff(0) == 42
+
+    def test_writeef_on_full_deadlocks(self):
+        fe = FullEmptyArray(1, fill=1)
+        with pytest.raises(MemoryDeadlockError, match="writeef"):
+            fe.writeef(0, 2)
+
+    def test_producer_consumer_handshake(self):
+        fe = FullEmptyArray(1, initially_full=False)
+        fe.writeef(0, 1)
+        assert fe.readfe(0) == 1
+        fe.writeef(0, 2)
+        assert fe.readfe(0) == 2
+
+    def test_write_xf_unconditional(self):
+        fe = FullEmptyArray(1, fill=1)
+        fe.write_xf(0, 9)
+        assert fe.readff(0) == 9
+
+    def test_purge(self):
+        fe = FullEmptyArray(1, fill=1)
+        fe.purge(0)
+        assert not fe.is_full(0)
+        fe.writeef(0, 3)
+        assert fe.readff(0) == 3
+
+    def test_bounds_checked(self):
+        fe = FullEmptyArray(1)
+        with pytest.raises(IndexError):
+            fe.readff(1)
+        with pytest.raises(IndexError):
+            fe.write_xf(-1, 0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            FullEmptyArray(-1)
+
+    def test_counter_instrumentation(self):
+        c = OpCounter()
+        fe = FullEmptyArray(2, fill=0, counter=c)
+        fe.readff(0)
+        fe.write_xf(1, 5)
+        fe.purge(1)
+        assert c.reads == 1
+        assert c.writes == 2
+
+    def test_snapshot_is_copy(self):
+        fe = FullEmptyArray(2, fill=3)
+        snap = fe.snapshot()
+        snap[0] = 99
+        assert fe.readff(0) == 3
+
+
+class TestAtomicCounter:
+    def test_fetch_add_returns_old(self):
+        a = AtomicCounter(10)
+        assert a.fetch_add(5) == 10
+        assert a.value == 15
+
+    def test_default_delta(self):
+        a = AtomicCounter()
+        a.fetch_add()
+        assert a.value == 1
+
+    def test_contention_tracked(self):
+        a = AtomicCounter()
+        for _ in range(7):
+            a.fetch_add()
+        assert a.contended_ops == 7
+        assert a.counter.atomics == 7
+
+    def test_reset(self):
+        a = AtomicCounter(5)
+        a.fetch_add()
+        a.reset(2)
+        assert a.value == 2
+        assert a.contended_ops == 0
+
+    def test_shared_op_counter(self):
+        c = OpCounter()
+        a = AtomicCounter(counter=c)
+        b = AtomicCounter(counter=c)
+        a.fetch_add()
+        b.fetch_add()
+        assert c.atomics == 2
+
+
+class TestHashedMemory:
+    def test_module_of_deterministic(self):
+        h = HashedMemory(64, seed=3)
+        assert h.module_of(12345) == h.module_of(12345)
+
+    def test_module_in_range(self):
+        h = HashedMemory(16)
+        mods = h.module_of(np.arange(1000))
+        assert mods.min() >= 0 and mods.max() < 16
+
+    def test_consecutive_addresses_scatter(self):
+        """Hashing breaks up locality (paper §II)."""
+        h = HashedMemory(128)
+        mods = h.module_of(np.arange(4096))
+        # Nearly all modules must be touched by a contiguous sweep.
+        assert len(np.unique(mods)) > 100
+
+    def test_uniform_traffic_balances(self):
+        h = HashedMemory(32)
+        h.record_accesses(np.arange(32_000))
+        assert h.load_imbalance() < 1.5
+
+    def test_single_hot_word_still_serializes(self):
+        """Hashing cannot spread one word: the hotspot hazard persists."""
+        h = HashedMemory(32)
+        h.record_accesses(np.full(1000, 77))
+        assert h.load_imbalance() == pytest.approx(32.0)
+
+    def test_empty_balance_is_one(self):
+        assert HashedMemory(8).load_imbalance() == 1.0
+
+    def test_reset(self):
+        h = HashedMemory(8)
+        h.record_accesses(np.arange(10))
+        h.reset()
+        assert h.module_loads.sum() == 0
+
+    def test_invalid_module_count(self):
+        with pytest.raises(ValueError):
+            HashedMemory(0)

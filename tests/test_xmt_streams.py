@@ -1,0 +1,137 @@
+"""Tests for the cycle-level stream scheduler — and the validation that
+the analytic cost model's saturation law matches the simulated hardware
+mechanism."""
+
+import pytest
+
+from repro.xmt.streams import StreamSimulator, StreamSimResult, StreamWorkload
+
+
+class TestWorkload:
+    def test_memory_pattern(self):
+        w = StreamWorkload(instructions=6, memory_period=3)
+        assert [w.is_memory(i) for i in range(6)] == [
+            False, False, True, False, False, True
+        ]
+        assert w.memory_references == 2
+
+    def test_all_memory(self):
+        w = StreamWorkload(instructions=4, memory_period=1)
+        assert all(w.is_memory(i) for i in range(4))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamWorkload(instructions=-1)
+        with pytest.raises(ValueError):
+            StreamWorkload(instructions=1, memory_period=0)
+
+
+class TestSimulatorBasics:
+    def test_empty_workload(self):
+        res = StreamSimulator(4).run(StreamWorkload(0))
+        assert res.cycles == 0
+        assert res.utilization == 0.0
+
+    def test_single_stream_alu_only(self):
+        # memory_period larger than the instruction count: pure ALU.
+        res = StreamSimulator(1, memory_latency_cycles=100).run(
+            StreamWorkload(instructions=10, memory_period=11)
+        )
+        assert res.instructions_issued == 10
+        assert res.cycles == 10
+        assert res.utilization == 1.0
+
+    def test_single_stream_all_memory(self):
+        latency = 50
+        res = StreamSimulator(1, memory_latency_cycles=latency).run(
+            StreamWorkload(instructions=4, memory_period=1)
+        )
+        # Each reference: 1 issue + latency until the next can issue.
+        assert res.cycles == 4 * latency
+        assert res.utilization == pytest.approx(4 / (4 * latency))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamSimulator(0)
+        with pytest.raises(ValueError):
+            StreamSimulator(1, memory_latency_cycles=0)
+
+    def test_all_instructions_issued(self):
+        res = StreamSimulator(8, memory_latency_cycles=20).run(
+            StreamWorkload(instructions=30, memory_period=4)
+        )
+        assert res.instructions_issued == 8 * 30
+
+
+class TestLatencyHiding:
+    """The paper's §II claim, measured on the mechanism."""
+
+    def test_enough_streams_hide_latency_completely(self):
+        latency = 40
+        sim = StreamSimulator(
+            num_streams=latency + 1, memory_latency_cycles=latency
+        )
+        res = sim.run(StreamWorkload(instructions=100, memory_period=1))
+        # One instruction per cycle once the pipeline fills.
+        assert res.utilization > 0.95
+
+    def test_utilization_monotone_in_streams(self):
+        sim = StreamSimulator(memory_latency_cycles=60)
+        curve = sim.utilization_curve(
+            StreamWorkload(instructions=60, memory_period=2),
+            [1, 2, 4, 8, 16, 32, 64, 128],
+        )
+        values = list(curve.values())
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_saturation_point_matches_analytic_law(self):
+        latency = 30
+        workload = StreamWorkload(instructions=90, memory_period=3)
+        sim = StreamSimulator(memory_latency_cycles=latency)
+        saturation = sim.saturation_streams(workload)
+        below = StreamSimulator(
+            num_streams=max(int(saturation // 2), 1),
+            memory_latency_cycles=latency,
+        ).run(workload)
+        above = StreamSimulator(
+            num_streams=int(saturation * 2),
+            memory_latency_cycles=latency,
+        ).run(workload)
+        assert below.utilization < 0.7
+        assert above.utilization > 0.9
+
+    def test_sub_saturation_matches_latency_bound_formula(self):
+        """Below saturation, cycles ~ chain length: the cost model's
+        latency bound, validated against the mechanism."""
+        latency = 50
+        streams = 4  # far below saturation (~17 for period 3... use 4)
+        w = StreamWorkload(instructions=60, memory_period=1)
+        res = StreamSimulator(streams, latency).run(w)
+        # Each stream is a serial chain of 60 memory round trips; with
+        # so few streams the processor is idle most of the time and the
+        # makespan is one chain's length.
+        chain = 60 * latency
+        assert res.cycles == pytest.approx(chain, rel=0.1)
+
+    def test_throughput_bound_at_scale(self):
+        """Above saturation, cycles ~ total instructions (issue bound)."""
+        res = StreamSimulator(128, memory_latency_cycles=100).run(
+            StreamWorkload(instructions=50, memory_period=2)
+        )
+        total = 128 * 50
+        assert res.cycles == pytest.approx(total, rel=0.1)
+
+    def test_128_streams_vs_600_cycle_latency(self):
+        """The real machine's numbers: 128 streams cannot fully hide a
+        600-cycle latency on a memory-only workload — consistent with
+        the cost model's stream_utilization < 1."""
+        res = StreamSimulator(128, memory_latency_cycles=600).run(
+            StreamWorkload(instructions=30, memory_period=1)
+        )
+        assert 0.15 < res.utilization < 0.35  # ~128/600
+
+    def test_result_dataclass(self):
+        res = StreamSimResult(cycles=100, instructions_issued=50,
+                              num_streams=4)
+        assert res.utilization == 0.5
+        assert res.effective_ipc == 0.5

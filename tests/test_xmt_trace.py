@@ -1,0 +1,126 @@
+"""Tests for work traces."""
+
+import pytest
+
+from repro.xmt import RegionTrace, WorkTrace
+
+
+def region(name="r", items=10, iteration=-1, **kw):
+    return RegionTrace(name=name, parallel_items=items, iteration=iteration, **kw)
+
+
+class TestRegionTrace:
+    def test_memory_ops(self):
+        r = region(reads=3, writes=2, atomics=5, atomic_max_site=2)
+        assert r.memory_ops == 10
+
+    def test_total_instructions_includes_memory(self):
+        r = region(instructions=7, reads=3)
+        assert r.total_instructions == 10
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            region(reads=-1)
+        with pytest.raises(ValueError):
+            RegionTrace(name="x", parallel_items=-1)
+
+    def test_atomic_max_site_bounded_by_atomics(self):
+        with pytest.raises(ValueError, match="cannot exceed"):
+            region(atomics=3, atomic_max_site=4)
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            region(kind="wat")
+
+    def test_scaled(self):
+        r = region(items=10, instructions=100, reads=50, writes=20,
+                   atomics=10, atomic_max_site=5)
+        s = r.scaled(2.0)
+        assert s.parallel_items == 20
+        assert s.instructions == 200
+        assert s.atomic_max_site == 10
+        assert r.instructions == 100  # original frozen
+
+    def test_scaled_zero_items_stays_zero(self):
+        assert region(items=0).scaled(3.0).parallel_items == 0
+
+    def test_scaled_small_items_at_least_one(self):
+        assert region(items=1).scaled(0.25).parallel_items == 1
+
+    def test_scaled_invalid_factor(self):
+        with pytest.raises(ValueError):
+            region().scaled(0.0)
+
+
+class TestWorkTrace:
+    def test_add_and_len(self):
+        t = WorkTrace()
+        t.add(region("a"))
+        t.extend([region("b"), region("c")])
+        assert len(t) == 3
+        assert [r.name for r in t] == ["a", "b", "c"]
+
+    def test_totals(self):
+        t = WorkTrace()
+        t.add(region(reads=3, writes=1))
+        t.add(region(reads=2, writes=4, atomics=5, atomic_max_site=1))
+        assert t.total_reads == 5
+        assert t.total_writes == 5
+        assert t.total_atomics == 5
+        assert t.total_instructions == 15  # 0 plain instr + 15 memory ops
+
+    def test_iterations(self):
+        t = WorkTrace()
+        t.add(region(iteration=2))
+        t.add(region(iteration=0))
+        t.add(region(iteration=2))
+        t.add(region(iteration=-1))
+        assert t.iterations() == [0, 2]
+
+    def test_for_iteration(self):
+        t = WorkTrace()
+        t.add(region("a", iteration=1))
+        t.add(region("b", iteration=2))
+        sub = t.for_iteration(1)
+        assert [r.name for r in sub] == ["a"]
+
+    def test_by_name(self):
+        t = WorkTrace()
+        t.add(region("x"))
+        t.add(region("y"))
+        t.add(region("x"))
+        assert len(t.by_name("x")) == 2
+
+    def test_serialization_round_trip(self, tmp_path):
+        t = WorkTrace(label="bfs")
+        t.add(region("a", items=5, iteration=0, reads=3, atomics=2,
+                     atomic_max_site=1, kind="superstep"))
+        t.add(region("b", items=7, instructions=11.5))
+        path = tmp_path / "trace.json"
+        t.save(path)
+        back = WorkTrace.load(path)
+        assert back.label == "bfs"
+        assert len(back) == 2
+        assert back.regions[0].name == "a"
+        assert back.regions[0].kind == "superstep"
+        assert back.regions[0].atomic_max_site == 1
+        assert back.regions[1].instructions == 11.5
+
+    def test_from_dict_version_checked(self):
+        with pytest.raises(ValueError, match="version"):
+            WorkTrace.from_dict({"format_version": 99, "regions": []})
+
+    def test_dict_round_trip_preserves_totals(self):
+        t = WorkTrace()
+        t.add(region(reads=10, writes=4, atomics=3, atomic_max_site=2))
+        back = WorkTrace.from_dict(t.to_dict())
+        assert back.total_reads == t.total_reads
+        assert back.total_atomics == t.total_atomics
+
+    def test_scaled_trace(self):
+        t = WorkTrace(label="orig")
+        t.add(region(reads=10))
+        s = t.scaled(3.0)
+        assert s.total_reads == 30
+        assert s.label == "orig"
+        assert t.total_reads == 10
