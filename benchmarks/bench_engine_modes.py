@@ -1,0 +1,62 @@
+"""Reference vs dense BSP engine on connected components.
+
+Both engines execute the same superstep semantics — the equivalence
+suite holds them to bit-identical results — so the only difference this
+benchmark measures is interpretation overhead: the reference engine
+dispatches a Python ``compute`` per vertex per superstep, while the
+dense engine runs whole-superstep NumPy kernels.  The gap is what makes
+paper-scale experiments tractable.
+"""
+
+import time
+
+from conftest import once
+
+import numpy as np
+
+from repro.analysis.report import format_seconds
+from repro.bsp import BSPEngine, DenseBSPEngine
+from repro.bsp_algorithms import (
+    BSPConnectedComponents,
+    DenseConnectedComponents,
+)
+
+
+def bench_engine_modes(benchmark, workload, capsys):
+    graph = workload.graph
+
+    def run():
+        t0 = time.perf_counter()
+        ref = BSPEngine(graph).run(BSPConnectedComponents())
+        t_ref = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        dense = DenseBSPEngine(graph).run(DenseConnectedComponents())
+        t_dense = time.perf_counter() - t0
+        return ref, dense, t_ref, t_dense
+
+    ref, dense, t_ref, t_dense = once(benchmark, run)
+
+    # Same computation, not merely the same labels.
+    assert np.array_equal(np.asarray(ref.values), dense.values)
+    assert ref.num_supersteps == dense.num_supersteps
+    assert ref.active_per_superstep == dense.active_per_superstep
+    assert ref.messages_per_superstep == dense.messages_per_superstep
+
+    speedup = t_ref / t_dense
+    assert speedup >= 10, (
+        f"dense engine must be >=10x the reference engine, got {speedup:.1f}x"
+    )
+
+    benchmark.extra_info.update(
+        supersteps=ref.num_supersteps,
+        messages=ref.total_messages,
+        seconds={"reference": round(t_ref, 4), "dense": round(t_dense, 4)},
+        speedup=round(speedup, 1),
+    )
+    with capsys.disabled():
+        print(
+            f"\nengine modes (CC, scale {workload.config.scale}): reference "
+            f"{format_seconds(t_ref)} -> dense {format_seconds(t_dense)} "
+            f"({speedup:.0f}x, {ref.num_supersteps} supersteps, "
+            f"{ref.total_messages:,} msgs)"
+        )

@@ -12,18 +12,20 @@ re-activates it.  Messages crossing superstep boundaries make the model
 deadlock-free by construction, at the price of computing on stale data
 (the effect behind the paper's connected-components iteration blow-up).
 
-Two execution paths share these semantics:
+Two engines share these semantics:
 
 * :class:`~repro.bsp.engine.BSPEngine` — the reference engine: runs any
-  user :class:`~repro.bsp.vertex.VertexProgram` one vertex at a time.
-  This is the public API for writing new algorithms.
-* the vectorized kernels in :mod:`repro.bsp_algorithms` — NumPy
-  whole-superstep implementations of the paper's three algorithms (plus
-  SSSP/PageRank), verified against the engine in the test suite and fast
-  enough for benchmark-scale graphs.
+  user :class:`~repro.bsp.vertex.VertexProgram` one vertex at a time in
+  pure Python.  The readable rendition of the paper's pseudocode.
+* :class:`~repro.bsp.dense.DenseBSPEngine` — the array-mode fast path:
+  runs a :class:`~repro.bsp.dense.DenseVertexProgram` (whole-superstep
+  NumPy kernels) with a combiner-fused scatter/gather.  The benchmark
+  path behind :mod:`repro.bsp_algorithms`.
 
-Both paths record the same instrumentation (messages per superstep,
-active vertices, per-destination queue pressure) into an XMT work trace.
+Both engines record the same instrumentation (messages per superstep,
+active vertices, per-destination queue pressure) into an XMT work trace
+and produce identical :class:`~repro.bsp.engine.BSPResult` s for
+equivalent programs — asserted by the equivalence suite.
 """
 
 from repro.bsp.aggregators import (
@@ -46,6 +48,11 @@ from repro.bsp.combiners import (
     MinCombiner,
     SumCombiner,
 )
+from repro.bsp.dense import (
+    DenseBSPEngine,
+    DenseSuperstepContext,
+    DenseVertexProgram,
+)
 from repro.bsp.engine import BSPEngine, BSPResult
 from repro.bsp.messages import MessageBuffer
 from repro.bsp.vertex import VertexContext, VertexProgram
@@ -57,6 +64,9 @@ __all__ = [
     "Checkpoint",
     "CheckpointStore",
     "Combiner",
+    "DenseBSPEngine",
+    "DenseSuperstepContext",
+    "DenseVertexProgram",
     "load_checkpoint",
     "save_checkpoint",
     "LogicalAndAggregator",

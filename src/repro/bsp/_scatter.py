@@ -1,0 +1,31 @@
+"""Shared vectorized message-scatter primitives.
+
+The dense BSP engine and the remaining hand-vectorized kernels all
+express "every sender floods a value along all its arcs" — these helpers
+select those arcs and build the per-destination enqueue histograms the
+instrumentation needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["arcs_from", "enqueue_histogram"]
+
+
+def arcs_from(senders: np.ndarray, row_ptr: np.ndarray) -> np.ndarray:
+    """Boolean mask over the arc array selecting arcs out of ``senders``."""
+    n = row_ptr.size - 1
+    vertex_mask = np.zeros(n, dtype=bool)
+    vertex_mask[senders] = True
+    return np.repeat(vertex_mask, np.diff(row_ptr))
+
+
+def enqueue_histogram(
+    destinations: np.ndarray, num_vertices: int
+) -> np.ndarray:
+    """Messages enqueued per destination vertex."""
+    enq = np.zeros(num_vertices, dtype=np.int64)
+    if destinations.size:
+        np.add.at(enq, destinations, 1)
+    return enq

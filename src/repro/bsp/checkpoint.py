@@ -32,7 +32,11 @@ __all__ = [
     "load_checkpoint",
 ]
 
-_CHECKPOINT_FORMAT_VERSION = 1
+_CHECKPOINT_FORMAT_VERSION = 2
+
+#: Fields added after format version 1; absent on old pickles and filled
+#: with ``None`` (their "not recorded" value) at load time.
+_V2_FIELDS = ("buffer_total_sent", "buffer_enqueues", "dense_senders")
 
 
 @dataclass
@@ -54,6 +58,17 @@ class Checkpoint:
     active_history: list[int] = field(default_factory=list)
     message_history: list[int] = field(default_factory=list)
     aggregator_history: dict[str, list[Any]] = field(default_factory=dict)
+    #: Exact send-side counters of the pending buffer (reference engine).
+    #: With a combiner, ``pending`` holds only the *folded* messages, so a
+    #: resume that replayed them through ``send`` would undercount
+    #: ``total_sent`` / the enqueue histogram; these fields preserve the
+    #: raw accounting.  ``None`` when not recorded (legacy checkpoints).
+    buffer_total_sent: int | None = None
+    buffer_enqueues: np.ndarray | None = None
+    #: Dense-engine pending messages: the sender frontier whose out-arcs
+    #: carry the in-flight messages (payloads are recomputed from
+    #: ``values`` on resume).  ``None`` for reference-engine checkpoints.
+    dense_senders: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         if self.superstep < 0:
@@ -61,6 +76,14 @@ class Checkpoint:
         self.halted = np.asarray(self.halted, dtype=bool)
         if self.halted.size != len(self.values):
             raise ValueError("halted mask must parallel values")
+        if self.buffer_enqueues is not None:
+            self.buffer_enqueues = np.asarray(
+                self.buffer_enqueues, dtype=np.int64
+            )
+        if self.dense_senders is not None:
+            self.dense_senders = np.asarray(
+                self.dense_senders, dtype=np.int64
+            )
 
 
 class CheckpointStore:
@@ -106,6 +129,11 @@ def load_checkpoint(path: str | os.PathLike) -> Checkpoint:
     with open(path, "rb") as fh:
         payload = pickle.load(fh)
     version = payload.get("format_version")
-    if version != _CHECKPOINT_FORMAT_VERSION:
+    if version not in (1, _CHECKPOINT_FORMAT_VERSION):
         raise ValueError(f"unsupported checkpoint version {version!r}")
-    return payload["checkpoint"]
+    checkpoint = payload["checkpoint"]
+    if version == 1:
+        for name in _V2_FIELDS:
+            if not hasattr(checkpoint, name):
+                setattr(checkpoint, name, None)
+    return checkpoint

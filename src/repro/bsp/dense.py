@@ -1,0 +1,464 @@
+"""Dense (array-mode) execution of BSP vertex programs.
+
+The reference :class:`~repro.bsp.engine.BSPEngine` interprets a
+:class:`~repro.bsp.vertex.VertexProgram` one vertex at a time in pure
+Python — the readable rendition of the paper's pseudocode, but far too
+slow for reproduction-scale graphs.  This module adds the fast path: a
+:class:`DenseVertexProgram` expresses the *whole superstep* as NumPy
+array kernels, and :class:`DenseBSPEngine` executes it with a
+combiner-fused scatter/gather:
+
+* **scatter** — the end of a superstep designates a set of *senders*;
+  every sender floods one message along each of its out-arcs (the
+  flooding idiom all of the paper's algorithms share).  The messages are
+  never materialized as Python objects: the arc slice out of the sender
+  set (:func:`~repro.bsp._scatter.arcs_from`) *is* the message queue.
+* **gather** — at the start of the next superstep the per-arc payloads
+  are produced in one vectorized call and folded per destination with a
+  NumPy ufunc (``np.minimum.at`` for label/distance flooding,
+  ``np.add.at`` for rank/notice accumulation).
+
+The engine mirrors the reference engine's control flow step for step —
+active-set selection (receivers ∪ not-halted), vote-to-halt semantics,
+termination, checkpoint cadence, aggregator visibility — and charges
+identical superstep accounting through the shared
+:func:`~repro.bsp.instrumentation.record_superstep`, so a dense program
+produces a :class:`~repro.bsp.engine.BSPResult` with bit-identical
+values, superstep counts, per-superstep active/message counts, and
+work-trace regions to its per-vertex twin (asserted by the equivalence
+suite in ``tests/test_dense_engine.py``).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.bsp._scatter import arcs_from, enqueue_histogram
+from repro.bsp.aggregators import Aggregator
+from repro.bsp.checkpoint import Checkpoint, CheckpointStore
+from repro.bsp.engine import BSPResult
+from repro.bsp.instrumentation import record_superstep
+from repro.graph.csr import CSRGraph
+from repro.runtime.loops import Tracer
+from repro.xmt.calibration import DEFAULT_COSTS, KernelCosts
+
+__all__ = [
+    "DenseBSPEngine",
+    "DenseSuperstepContext",
+    "DenseVertexProgram",
+]
+
+
+class DenseSuperstepContext:
+    """Whole-superstep view handed to :meth:`DenseVertexProgram.compute`.
+
+    Where :class:`~repro.bsp.vertex.VertexContext` exposes one vertex,
+    this context exposes the entire superstep as arrays: the compute set,
+    the receivers, and the combiner-folded incoming messages.  Instances
+    are valid only for the duration of the ``compute`` call.
+    """
+
+    __slots__ = ("_engine", "superstep", "active", "receivers", "messages")
+
+    def __init__(
+        self,
+        engine: "DenseBSPEngine",
+        superstep: int,
+        active: np.ndarray,
+        receivers: np.ndarray,
+        messages: np.ndarray | None,
+    ):
+        self._engine = engine
+        #: Current superstep number (0-based).
+        self.superstep = superstep
+        #: Sorted vertex ids computing this superstep (Pregel's active
+        #: set: message receivers plus vertices that did not halt).
+        self.active = active
+        #: Sorted vertex ids with at least one incoming message.
+        self.receivers = receivers
+        #: Length-``num_vertices`` array of combiner-folded incoming
+        #: messages (``combine_identity`` where nothing arrived); ``None``
+        #: in superstep 0.
+        self.messages = messages
+
+    # -- state ---------------------------------------------------------
+    @property
+    def graph(self) -> CSRGraph:
+        """The input graph (read-only CSR)."""
+        return self._engine.graph
+
+    @property
+    def num_vertices(self) -> int:
+        """Vertex count of the input graph."""
+        return self._engine.graph.num_vertices
+
+    @property
+    def values(self) -> np.ndarray:
+        """Per-vertex state array (mutate in place to update state)."""
+        return self._engine.values
+
+    # -- control -------------------------------------------------------
+    def vote_to_halt(self, vertices: np.ndarray | None = None) -> None:
+        """Deactivate ``vertices`` (default: every computing vertex)
+        until a message re-activates them."""
+        if vertices is None:
+            self._engine.halted[self.active] = True
+        else:
+            self._engine.halted[np.asarray(vertices, dtype=np.int64)] = True
+
+    # -- aggregators ---------------------------------------------------
+    def aggregate(self, name: str, value: Any) -> None:
+        """Contribute to a named aggregator (visible next superstep).
+
+        Dense programs contribute their already-reduced superstep total
+        in one call instead of once per vertex.
+        """
+        self._engine.aggregate(name, value)
+
+    def aggregated(self, name: str) -> Any:
+        """Read the aggregator value from the *previous* superstep."""
+        return self._engine.aggregated(name)
+
+
+class DenseVertexProgram(ABC):
+    """A vertex program expressed as whole-superstep array kernels.
+
+    Message model: returning an array of vertex ids from :meth:`compute`
+    designates those vertices as *senders* — each floods one message
+    along every out-arc, delivered next superstep.  The engine produces
+    the per-arc payloads via :meth:`arc_payload` and folds messages
+    aimed at the same destination with :attr:`combine`, so a program only
+    ever sees the reduction — exactly what a
+    :class:`~repro.bsp.combiners.Combiner` would hand its per-vertex
+    twin.  Programs whose ``compute`` consumes messages one by one (and
+    not through an associative fold) do not fit the dense mode; run them
+    on the reference engine.
+    """
+
+    #: Per-destination delivery fold: a NumPy ufunc supporting ``.at``
+    #: (``np.minimum`` for label/distance flooding, ``np.add`` for
+    #: rank/notice accumulation).
+    combine: np.ufunc = np.minimum
+    #: Fill value for destinations that received no message (the fold's
+    #: identity).  Subclasses must override.
+    combine_identity: Any = None
+    #: dtype of the gathered message array.
+    message_dtype: Any = np.float64
+
+    @abstractmethod
+    def initial_values(self, graph: CSRGraph) -> np.ndarray:
+        """Per-vertex state array before superstep 0."""
+
+    @abstractmethod
+    def arc_payload(
+        self, graph: CSRGraph, values: np.ndarray, arc_mask: np.ndarray
+    ) -> np.ndarray:
+        """Message values carried by the selected arcs.
+
+        ``arc_mask`` is a boolean mask over the graph's arc array
+        selecting every out-arc of the previous superstep's senders; the
+        result must be parallel to ``graph.col_idx[arc_mask]``.  Payloads
+        are evaluated lazily at delivery time, which is equivalent to
+        eager sending because a sender's state cannot change between the
+        end of the superstep that sent and the delivery barrier.
+        """
+
+    @abstractmethod
+    def compute(self, ctx: DenseSuperstepContext) -> np.ndarray | None:
+        """Execute one whole superstep.
+
+        Update ``ctx.values`` in place for the vertices in ``ctx.active``,
+        vote halts via ``ctx.vote_to_halt``, and return the sender set for
+        the next superstep (``None`` or an empty array to send nothing).
+        """
+
+
+class DenseBSPEngine:
+    """Runs :class:`DenseVertexProgram` s over one read-only graph.
+
+    Drop-in sibling of :class:`~repro.bsp.engine.BSPEngine`: same
+    constructor shape, same ``run`` signature, same
+    :class:`~repro.bsp.engine.BSPResult`, same checkpoint/resume
+    contract — but executes supersteps as vectorized array kernels, which
+    is orders of magnitude faster on reproduction-scale graphs (see
+    ``benchmarks/bench_engine_modes.py``).
+
+    Parameters
+    ----------
+    graph:
+        The input graph; vertices are actors, arcs carry messages.
+    combine_messages:
+        Accounting switch for the combiner ablation: when True, queue
+        traffic is charged *post-fold* — one materialized message per
+        destination per superstep (a Pregel sender-side combiner) —
+        instead of the paper runtime's every-message-materialized
+        accounting.  Delivered values are identical either way; only
+        ``messages_per_superstep`` / ``received`` and the work trace
+        change.  (The reference engine's ``combiner`` folds *after* the
+        enqueue accounting, so its counts equal the default mode here.)
+    aggregators:
+        Named global aggregators available to the program.
+    costs:
+        Kernel accounting constants for the work trace.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        *,
+        combine_messages: bool = False,
+        aggregators: dict[str, Aggregator] | None = None,
+        costs: KernelCosts = DEFAULT_COSTS,
+    ) -> None:
+        self.graph = graph
+        self.combine_messages = combine_messages
+        self.costs = costs
+        self._aggregators = dict(aggregators or {})
+        # Mutable run state (rebuilt per run):
+        self.values: np.ndarray = np.empty(0)
+        self.halted: np.ndarray = np.zeros(0, dtype=bool)
+        self._agg_current: dict[str, Any] = {}
+        self._agg_visible: dict[str, Any] = {}
+
+    # -- aggregator plumbing (called through DenseSuperstepContext) ----
+    def aggregate(self, name: str, value: Any) -> None:
+        """Fold one contribution into the named aggregator."""
+        if name not in self._aggregators:
+            raise KeyError(f"no aggregator named {name!r}")
+        agg = self._aggregators[name]
+        self._agg_current[name] = agg.reduce(self._agg_current[name], value)
+
+    def aggregated(self, name: str) -> Any:
+        """Aggregator value visible this superstep (previous superstep's
+        reduction)."""
+        if name not in self._aggregators:
+            raise KeyError(f"no aggregator named {name!r}")
+        return self._agg_visible[name]
+
+    # -- main loop ------------------------------------------------------
+    def run(
+        self,
+        program: DenseVertexProgram,
+        *,
+        initial_active: Iterable[int] | None = None,
+        max_supersteps: int = 10_000,
+        trace_label: str = "bsp",
+        checkpoint_every: int | None = None,
+        checkpoint_store: "CheckpointStore | None" = None,
+        resume_from: "Checkpoint | None" = None,
+    ) -> BSPResult:
+        """Execute ``program`` to termination.
+
+        Semantics are identical to :meth:`BSPEngine.run`; see there for
+        the meaning of every parameter.  Checkpoints written by this
+        engine store the pending messages densely (the sender frontier)
+        and can only be resumed by a ``DenseBSPEngine``; program-local
+        state outside the engine-owned ``values`` array (e.g. a
+        per-superstep frontier history kept on the program object) is
+        *not* checkpointed.
+        """
+        if max_supersteps < 1:
+            raise ValueError("max_supersteps must be >= 1")
+        if checkpoint_every is not None:
+            if checkpoint_every < 1:
+                raise ValueError("checkpoint_every must be >= 1")
+            if checkpoint_store is None:
+                raise ValueError(
+                    "checkpoint_every requires a checkpoint_store"
+                )
+        identity = program.combine_identity
+        if identity is None:
+            raise ValueError(
+                "dense program must define combine_identity "
+                "(the fill value of the gathered message array)"
+            )
+        graph = self.graph
+        n = graph.num_vertices
+        deg = graph.degrees()
+        row_ptr, col_idx = graph.row_ptr, graph.col_idx
+        tracer = Tracer(label=trace_label)
+        result = BSPResult(values=[], num_supersteps=0)
+
+        if resume_from is not None:
+            ck = resume_from
+            if len(ck.values) != n:
+                raise ValueError(
+                    "checkpoint does not match this graph's vertex count"
+                )
+            if ck.dense_senders is None:
+                raise ValueError(
+                    "checkpoint was written by the reference BSPEngine; "
+                    "resume it there"
+                )
+            self.values = np.array(ck.values)
+            self.halted = np.asarray(ck.halted, dtype=bool).copy()
+            senders = np.asarray(ck.dense_senders, dtype=np.int64).copy()
+            self._agg_visible = dict(ck.aggregators)
+            for name, agg in self._aggregators.items():
+                self._agg_visible.setdefault(name, agg.identity())
+            result.active_per_superstep = list(ck.active_history)
+            result.messages_per_superstep = list(ck.message_history)
+            result.aggregator_history = {
+                name: list(vals)
+                for name, vals in ck.aggregator_history.items()
+            }
+            for name in self._aggregators:
+                result.aggregator_history.setdefault(name, [])
+            active0 = np.empty(0, dtype=np.int64)  # unused on resume
+            superstep = ck.superstep
+        else:
+            self.values = np.asarray(program.initial_values(graph))
+            self.halted = np.zeros(n, dtype=bool)
+            senders = np.empty(0, dtype=np.int64)
+            self._agg_visible = {
+                name: agg.identity()
+                for name, agg in self._aggregators.items()
+            }
+            if initial_active is None:
+                active0 = np.arange(n, dtype=np.int64)
+            else:
+                active0 = np.unique(
+                    np.asarray(list(initial_active), dtype=np.int64)
+                )
+                if active0.size and (
+                    active0[0] < 0 or active0[-1] >= n
+                ):
+                    raise IndexError("initial vertex out of range")
+                self.halted[:] = True
+                self.halted[active0] = False
+            for name in self._aggregators:
+                result.aggregator_history[name] = []
+            superstep = 0
+
+        # Arc mask and enqueue histogram of the pending senders, carried
+        # across supersteps so scatter (enqueue accounting) and gather
+        # (delivery) share one mask computation and the receiver set
+        # falls out of the histogram instead of a sort.  Both are None
+        # right after a resume and are recomputed from the senders.
+        pending_mask: np.ndarray | None = None
+        pending_hist: np.ndarray | None = None
+        while superstep < max_supersteps:
+            if (
+                checkpoint_every is not None
+                and superstep > 0
+                and superstep % checkpoint_every == 0
+                and (resume_from is None or superstep > resume_from.superstep)
+            ):
+                checkpoint_store.save(self._snapshot(superstep, senders, result))
+            if superstep == 0:
+                compute_set = active0
+                receivers = np.empty(0, dtype=np.int64)
+                gathered = None
+                received = 0
+            else:
+                if senders.size:
+                    arc_mask = (
+                        pending_mask
+                        if pending_mask is not None
+                        else arcs_from(senders, row_ptr)
+                    )
+                    dst = col_idx[arc_mask]
+                    payload = np.asarray(
+                        program.arc_payload(graph, self.values, arc_mask)
+                    )
+                    if pending_hist is None:
+                        pending_hist = enqueue_histogram(dst, n)
+                else:
+                    dst = np.empty(0, dtype=np.int64)
+                    payload = np.empty(0, dtype=program.message_dtype)
+                gathered = np.full(n, identity, dtype=program.message_dtype)
+                if dst.size:
+                    program.combine.at(gathered, dst, payload)
+                receivers = (
+                    np.flatnonzero(pending_hist)
+                    if dst.size
+                    else np.empty(0, dtype=np.int64)
+                )
+                if self.halted.all():
+                    compute_set = receivers
+                else:
+                    compute_set = np.union1d(
+                        receivers, np.flatnonzero(~self.halted)
+                    )
+                received = (
+                    int(receivers.size)
+                    if self.combine_messages
+                    else int(dst.size)
+                )
+            if compute_set.size == 0:
+                break
+
+            self._agg_current = {
+                name: agg.identity()
+                for name, agg in self._aggregators.items()
+            }
+            self.halted[compute_set] = False  # computing re-activates
+            ctx = DenseSuperstepContext(
+                self, superstep, compute_set, receivers, gathered
+            )
+            new_senders = program.compute(ctx)
+            if new_senders is None:
+                new_senders = np.empty(0, dtype=np.int64)
+            else:
+                new_senders = np.asarray(new_senders, dtype=np.int64)
+
+            sent_raw = int(deg[new_senders].sum()) if new_senders.size else 0
+            if sent_raw:
+                pending_mask = arcs_from(new_senders, row_ptr)
+                enq = enqueue_histogram(col_idx[pending_mask], n)
+            else:
+                pending_mask = None
+                enq = None
+            sent = sent_raw
+            if self.combine_messages and sent_raw:
+                enq = np.minimum(enq, 1)
+                sent = int(enq.sum())
+            pending_hist = enq
+            record_superstep(
+                tracer,
+                superstep=superstep,
+                active=int(compute_set.size),
+                received=received,
+                sent=sent,
+                enqueues_per_destination=enq,
+                costs=self.costs,
+            )
+            result.active_per_superstep.append(int(compute_set.size))
+            result.messages_per_superstep.append(sent)
+            for name in self._aggregators:
+                self._agg_visible[name] = self._agg_current[name]
+                result.aggregator_history[name].append(self._agg_visible[name])
+
+            senders = new_senders
+            superstep += 1
+            if sent_raw == 0 and bool(self.halted.all()):
+                break
+
+        result.num_supersteps = superstep
+        # Snapshot: a stored result must not alias the engine's mutable
+        # run state (a later run/resume on this engine would corrupt it).
+        result.values = self.values.copy()
+        result.trace = tracer.trace
+        return result
+
+    # -- checkpointing ---------------------------------------------------
+    def _snapshot(
+        self, superstep: int, senders: np.ndarray, result: BSPResult
+    ) -> Checkpoint:
+        return Checkpoint(
+            superstep=superstep,
+            values=self.values.copy(),
+            halted=self.halted.copy(),
+            pending=[],
+            aggregators=dict(self._agg_visible),
+            active_history=list(result.active_per_superstep),
+            message_history=list(result.messages_per_superstep),
+            aggregator_history={
+                name: list(vals)
+                for name, vals in result.aggregator_history.items()
+            },
+            dense_senders=senders.copy(),
+        )

@@ -159,11 +159,20 @@ class BSPEngine:
                 raise ValueError(
                     "checkpoint does not match this graph's vertex count"
                 )
+            if ck.dense_senders is not None:
+                raise ValueError(
+                    "checkpoint was written by DenseBSPEngine; "
+                    "resume it with a DenseBSPEngine"
+                )
             self.values = list(ck.values)
             self.halted = ck.halted.copy()
-            inbox = MessageBuffer(n, self.combiner)
-            for target, message in ck.pending:
-                inbox.send(-1, target, message)
+            inbox = MessageBuffer.restore(
+                n,
+                self.combiner,
+                ck.pending,
+                total_sent=ck.buffer_total_sent,
+                enqueues_per_destination=ck.buffer_enqueues,
+            )
             self._agg_visible = dict(ck.aggregators)
             for name, agg in self._aggregators.items():
                 self._agg_visible.setdefault(name, agg.identity())
@@ -198,7 +207,6 @@ class BSPEngine:
                 result.aggregator_history[name] = []
             superstep = 0
 
-        result.values = self.values
         while superstep < max_supersteps:
             if (
                 checkpoint_every is not None
@@ -246,7 +254,9 @@ class BSPEngine:
                 break
 
         result.num_supersteps = superstep
-        result.values = self.values
+        # Snapshot: a stored result must not alias the engine's mutable
+        # run state (a later run/resume on this engine would corrupt it).
+        result.values = list(self.values)
         result.trace = tracer.trace
         return result
 
@@ -266,6 +276,8 @@ class BSPEngine:
                 name: list(vals)
                 for name, vals in result.aggregator_history.items()
             },
+            buffer_total_sent=inbox.total_sent,
+            buffer_enqueues=inbox.enqueues_per_destination.copy(),
         )
 
     # -- instrumentation -------------------------------------------------

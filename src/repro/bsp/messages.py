@@ -72,12 +72,48 @@ class MessageBuffer:
         return source.keys()
 
     def messages_for(self, vertex: int) -> list[Any]:
-        """Messages waiting for ``vertex`` (empty list when none)."""
+        """Messages waiting for ``vertex`` (empty list when none).
+
+        The returned list is a fresh copy each call: a vertex program may
+        mutate its ``messages`` argument (sort, pop, append...) without
+        corrupting the underlying queue.
+        """
         if self.combiner is not None:
             if vertex in self._combined:
                 return [self._combined[vertex]]
             return []
-        return self._queues.get(vertex, [])
+        queue = self._queues.get(vertex)
+        return list(queue) if queue else []
+
+    @classmethod
+    def restore(
+        cls,
+        num_vertices: int,
+        combiner: Combiner | None,
+        pending: Iterable[tuple[int, Any]],
+        *,
+        total_sent: int | None = None,
+        enqueues_per_destination: np.ndarray | None = None,
+    ) -> "MessageBuffer":
+        """Rebuild a buffer from checkpointed state.
+
+        Replaying ``pending`` through :meth:`send` reconstructs the
+        message *contents*, but with a combiner the replay only sees the
+        folded messages, so the send-side counters (``total_sent`` and
+        the per-destination enqueue histogram) would undercount the raw
+        traffic.  When the exact counters were checkpointed they are
+        restored verbatim on top of the replay.
+        """
+        buf = cls(num_vertices, combiner)
+        for target, message in pending:
+            buf.send(-1, target, message)
+        if total_sent is not None:
+            buf.total_sent = int(total_sent)
+        if enqueues_per_destination is not None:
+            buf.enqueues_per_destination = np.array(
+                enqueues_per_destination, dtype=np.int64
+            )
+        return buf
 
     @property
     def total_delivered(self) -> int:

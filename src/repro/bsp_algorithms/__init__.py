@@ -2,10 +2,12 @@
 
 Each module pairs the paper's pseudocode as a
 :class:`~repro.bsp.vertex.VertexProgram` (the readable reference, run by
-the engine) with a vectorized NumPy implementation of the same superstep
-semantics (the benchmark path).  The test suite asserts the two paths
-agree on final states, superstep counts, and per-superstep message
-counts.
+the reference engine) with a
+:class:`~repro.bsp.dense.DenseVertexProgram` of the same superstep
+semantics (whole-superstep NumPy kernels, run by the
+:class:`~repro.bsp.dense.DenseBSPEngine` — the benchmark path).  The
+test suite asserts the two paths agree on final states, superstep
+counts, and per-superstep message counts.
 
 * :mod:`~repro.bsp_algorithms.connected_components` — Algorithm 1,
 * :mod:`~repro.bsp_algorithms.bfs` — Algorithm 2,
@@ -22,6 +24,7 @@ from repro.bsp_algorithms.betweenness import (
 from repro.bsp_algorithms.bfs import (
     BSPBFSResult,
     BSPBreadthFirstSearch,
+    DenseBreadthFirstSearch,
     bsp_breadth_first_search,
 )
 from repro.bsp_algorithms.community import (
@@ -32,9 +35,15 @@ from repro.bsp_algorithms.community import (
 from repro.bsp_algorithms.connected_components import (
     BSPComponentsResult,
     BSPConnectedComponents,
+    DenseConnectedComponents,
     bsp_connected_components,
 )
-from repro.bsp_algorithms.kcore import BSPKCore, BSPKCoreResult, bsp_k_core
+from repro.bsp_algorithms.kcore import (
+    BSPKCore,
+    BSPKCoreResult,
+    DenseKCore,
+    bsp_k_core,
+)
 from repro.bsp_algorithms.mis import (
     BSPLubyMIS,
     BSPMISResult,
@@ -43,9 +52,15 @@ from repro.bsp_algorithms.mis import (
 from repro.bsp_algorithms.pagerank import (
     BSPPageRank,
     BSPPageRankResult,
+    DensePageRank,
     bsp_pagerank,
 )
-from repro.bsp_algorithms.sssp import BSPShortestPaths, BSPSSSPResult, bsp_sssp
+from repro.bsp_algorithms.sssp import (
+    BSPShortestPaths,
+    BSPSSSPResult,
+    DenseShortestPaths,
+    bsp_sssp,
+)
 from repro.bsp_algorithms.triangles import (
     BSPTriangleCounting,
     BSPTriangleResult,
@@ -70,6 +85,11 @@ __all__ = [
     "BSPShortestPaths",
     "BSPTriangleCounting",
     "BSPTriangleResult",
+    "DenseBreadthFirstSearch",
+    "DenseConnectedComponents",
+    "DenseKCore",
+    "DensePageRank",
+    "DenseShortestPaths",
     "bsp_betweenness_centrality",
     "bsp_breadth_first_search",
     "bsp_connected_components",

@@ -1,30 +1,13 @@
 """Shared vectorized message-scatter primitives.
 
-The flooding algorithms (CC, BFS, SSSP) all express "every sender floods
-a value along all its arcs" — these helpers select those arcs and build
-the per-destination enqueue histograms the instrumentation needs.
+The helpers live in :mod:`repro.bsp._scatter` now — the dense BSP engine
+is their primary consumer — and are re-exported here so the remaining
+hand-vectorized kernels (and external callers) keep importing from the
+historical location.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from repro.bsp._scatter import arcs_from, enqueue_histogram
 
 __all__ = ["arcs_from", "enqueue_histogram"]
-
-
-def arcs_from(senders: np.ndarray, row_ptr: np.ndarray) -> np.ndarray:
-    """Boolean mask over the arc array selecting arcs out of ``senders``."""
-    n = row_ptr.size - 1
-    vertex_mask = np.zeros(n, dtype=bool)
-    vertex_mask[senders] = True
-    return np.repeat(vertex_mask, np.diff(row_ptr))
-
-
-def enqueue_histogram(
-    destinations: np.ndarray, num_vertices: int
-) -> np.ndarray:
-    """Messages enqueued per destination vertex."""
-    enq = np.zeros(num_vertices, dtype=np.int64)
-    if destinations.size:
-        np.add.at(enq, destinations, 1)
-    return enq

@@ -11,6 +11,11 @@ be on the frontier" — one message per edge incident on the frontier —
 while GraphCT enqueues each undiscovered vertex exactly once.  Past the
 frontier apex the message count exceeds the true frontier by an order of
 magnitude (Fig. 2), and the wasted deliveries are discarded.
+
+The module pairs the paper's pseudocode as a per-vertex
+:class:`BSPBreadthFirstSearch` (run by the reference engine) with the
+whole-superstep :class:`DenseBreadthFirstSearch` (run by the
+:class:`~repro.bsp.dense.DenseBSPEngine` — the benchmark path).
 """
 
 from __future__ import annotations
@@ -20,15 +25,18 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.bsp.instrumentation import record_superstep
-from repro.bsp_algorithms._scatter import arcs_from
+from repro.bsp.dense import DenseBSPEngine, DenseSuperstepContext, DenseVertexProgram
 from repro.bsp.vertex import VertexContext, VertexProgram
 from repro.graph.csr import CSRGraph
-from repro.runtime.loops import Tracer
 from repro.xmt.calibration import DEFAULT_COSTS, KernelCosts
 from repro.xmt.trace import WorkTrace
 
-__all__ = ["BSPBreadthFirstSearch", "BSPBFSResult", "bsp_breadth_first_search"]
+__all__ = [
+    "BSPBFSResult",
+    "BSPBreadthFirstSearch",
+    "DenseBreadthFirstSearch",
+    "bsp_breadth_first_search",
+]
 
 #: Sentinel for "infinity" in integer distance arrays.
 UNREACHED = np.iinfo(np.int64).max
@@ -43,9 +51,6 @@ class BSPBreadthFirstSearch(VertexProgram):
 
     def __init__(self, source: int):
         self.source = int(source)
-
-    def initial_value(self, vertex: int, graph) -> int | None:
-        return 0 if vertex == self.source else None
 
     def compute(self, ctx: VertexContext, messages: Sequence[int]) -> None:
         vote = False
@@ -63,10 +68,55 @@ class BSPBreadthFirstSearch(VertexProgram):
                 ctx.send_to_neighbors(dist)
         ctx.vote_to_halt()
 
+    def initial_value(self, vertex: int, graph) -> int | None:
+        return 0 if vertex == self.source else None
+
+
+class DenseBreadthFirstSearch(DenseVertexProgram):
+    """Algorithm 2 as whole-superstep array kernels (distance flooding).
+
+    Besides the engine-owned distances it records ``frontier_sizes`` —
+    the newly discovered vertices per level, Fig. 2's comparison series
+    against the message counts.
+    """
+
+    combine = np.minimum
+    combine_identity = UNREACHED
+    message_dtype = np.int64
+
+    def __init__(self, source: int):
+        self.source = int(source)
+        #: Newly discovered vertices per level (rebuilt each run).
+        self.frontier_sizes: list[int] = []
+
+    def initial_values(self, graph: CSRGraph) -> np.ndarray:
+        """Distance 0 at the source, infinity elsewhere."""
+        self.frontier_sizes = [1]
+        dist = np.full(graph.num_vertices, UNREACHED, dtype=np.int64)
+        dist[self.source] = 0
+        return dist
+
+    def arc_payload(
+        self, graph: CSRGraph, values: np.ndarray, arc_mask: np.ndarray
+    ) -> np.ndarray:
+        """A sender floods its distance; +1 charged at the receiving arc
+        (same value as sending ``dist + 1``)."""
+        return values[graph.arc_sources()[arc_mask]] + 1
+
+    def compute(self, ctx: DenseSuperstepContext) -> np.ndarray | None:
+        ctx.vote_to_halt()
+        if ctx.superstep == 0:                    # lines 6-10
+            return np.asarray([self.source], dtype=np.int64)
+        dist, receivers = ctx.values, ctx.receivers  # lines 11-14
+        improved = receivers[ctx.messages[receivers] < dist[receivers]]
+        dist[improved] = ctx.messages[improved]
+        self.frontier_sizes.append(int(improved.size))
+        return improved
+
 
 @dataclass
 class BSPBFSResult:
-    """Outcome of the vectorized BSP breadth-first search."""
+    """Outcome of the dense-engine BSP breadth-first search."""
 
     source: int
     #: Hop distance; -1 for unreachable vertices.
@@ -97,71 +147,22 @@ def bsp_breadth_first_search(
     costs: KernelCosts = DEFAULT_COSTS,
     max_supersteps: int = 10_000,
 ) -> BSPBFSResult:
-    """Vectorized whole-superstep execution of Algorithm 2."""
+    """Dense-engine execution of Algorithm 2."""
     n = graph.num_vertices
     if not 0 <= source < n:
         raise IndexError(f"source {source} out of range [0, {n})")
-    tracer = Tracer(label="bsp/bfs")
-    dist = np.full(n, UNREACHED, dtype=np.int64)
-    dist[source] = 0
-    deg = graph.degrees()
-    row_ptr, col_idx = graph.row_ptr, graph.col_idx
-
-    active_hist: list[int] = []
-    message_hist: list[int] = []
-    frontier_hist: list[int] = [1]
-
-    # Superstep 0: every vertex computes (Pregel activates all); only the
-    # source sends.
-    senders = np.asarray([source], dtype=np.int64)
-    sent = int(deg[senders].sum())
-    enq = np.zeros(n, dtype=np.int64)
-    np.add.at(enq, col_idx[row_ptr[source]: row_ptr[source + 1]], 1)
-    record_superstep(
-        tracer, superstep=0, active=n, received=0, sent=sent,
-        enqueues_per_destination=enq, costs=costs,
+    program = DenseBreadthFirstSearch(source)
+    engine = DenseBSPEngine(graph, costs=costs)
+    result = engine.run(
+        program, max_supersteps=max_supersteps, trace_label="bsp/bfs"
     )
-    active_hist.append(n)
-    message_hist.append(sent)
-
-    superstep = 1
-    while sent and superstep < max_supersteps:
-        arc_mask = arcs_from(senders, row_ptr)
-        dst = col_idx[arc_mask]
-        payload = dist[graph.arc_sources()[arc_mask]] + 1
-        received = int(dst.size)
-
-        incoming = np.full(n, UNREACHED, dtype=np.int64)
-        np.minimum.at(incoming, dst, payload)
-        receivers = np.unique(dst)
-        improved = receivers[incoming[receivers] < dist[receivers]]
-        dist[improved] = incoming[improved]
-        frontier_hist.append(int(improved.size))
-
-        active = int(receivers.size)
-        senders = improved
-        sent = int(deg[senders].sum())
-        enq = np.zeros(n, dtype=np.int64)
-        if sent:
-            out_mask = arcs_from(senders, row_ptr)
-            np.add.at(enq, col_idx[out_mask], 1)
-        record_superstep(
-            tracer, superstep=superstep, active=active, received=received,
-            sent=sent, enqueues_per_destination=enq if sent else None,
-            costs=costs,
-        )
-        active_hist.append(active)
-        message_hist.append(sent)
-        superstep += 1
-
-    distances = np.where(dist == UNREACHED, -1, dist)
+    dist = result.values
     return BSPBFSResult(
         source=source,
-        distances=distances,
-        num_supersteps=superstep,
-        active_per_superstep=active_hist,
-        messages_per_superstep=message_hist,
-        frontier_sizes=frontier_hist,
-        trace=tracer.trace,
+        distances=np.where(dist == UNREACHED, -1, dist),
+        num_supersteps=result.num_supersteps,
+        active_per_superstep=result.active_per_superstep,
+        messages_per_superstep=result.messages_per_superstep,
+        frontier_sizes=program.frontier_sizes,
+        trace=result.trace,
     )
-

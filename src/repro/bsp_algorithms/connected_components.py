@@ -10,6 +10,11 @@ Because a message cannot be consumed until the *next* superstep, label
 information moves one hop per superstep: the paper observes at least a 2x
 iteration blow-up over the shared-memory algorithm, with the first few
 supersteps touching nearly every vertex (Fig. 1, left).
+
+The module pairs the paper's pseudocode as a per-vertex
+:class:`BSPConnectedComponents` (run by the reference engine) with the
+whole-superstep :class:`DenseConnectedComponents` (run by the
+:class:`~repro.bsp.dense.DenseBSPEngine` — the benchmark path).
 """
 
 from __future__ import annotations
@@ -19,17 +24,16 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.bsp.instrumentation import record_superstep
-from repro.bsp_algorithms._scatter import arcs_from
+from repro.bsp.dense import DenseBSPEngine, DenseSuperstepContext, DenseVertexProgram
 from repro.bsp.vertex import VertexContext, VertexProgram
 from repro.graph.csr import CSRGraph
-from repro.runtime.loops import Tracer
 from repro.xmt.calibration import DEFAULT_COSTS, KernelCosts
 from repro.xmt.trace import WorkTrace
 
 __all__ = [
     "BSPConnectedComponents",
     "BSPComponentsResult",
+    "DenseConnectedComponents",
     "bsp_connected_components",
 ]
 
@@ -58,9 +62,38 @@ class BSPConnectedComponents(VertexProgram):
         ctx.vote_to_halt()
 
 
+class DenseConnectedComponents(DenseVertexProgram):
+    """Algorithm 1 as whole-superstep array kernels (min-label flooding)."""
+
+    combine = np.minimum
+    combine_identity = np.iinfo(np.int64).max
+    message_dtype = np.int64
+
+    def initial_values(self, graph: CSRGraph) -> np.ndarray:
+        """Every vertex starts as its own component."""
+        return np.arange(graph.num_vertices, dtype=np.int64)
+
+    def arc_payload(
+        self, graph: CSRGraph, values: np.ndarray, arc_mask: np.ndarray
+    ) -> np.ndarray:
+        """A sender floods its current label."""
+        return values[graph.arc_sources()[arc_mask]]
+
+    def compute(self, ctx: DenseSuperstepContext) -> np.ndarray | None:
+        ctx.vote_to_halt()
+        if ctx.superstep == 0:                   # lines 6-9
+            labels = ctx.values
+            labels[ctx.active] = ctx.active
+            return ctx.active
+        labels, receivers = ctx.values, ctx.receivers  # lines 10-13
+        improved = receivers[ctx.messages[receivers] < labels[receivers]]
+        labels[improved] = ctx.messages[improved]
+        return improved
+
+
 @dataclass
 class BSPComponentsResult:
-    """Outcome of the vectorized BSP connected components."""
+    """Outcome of the dense-engine BSP connected components."""
 
     labels: np.ndarray
     num_components: int
@@ -81,7 +114,7 @@ def bsp_connected_components(
     max_supersteps: int = 10_000,
     combine_messages: bool = False,
 ) -> BSPComponentsResult:
-    """Vectorized whole-superstep execution of Algorithm 1.
+    """Dense-engine execution of Algorithm 1.
 
     Superstep semantics match :class:`BSPConnectedComponents` under the
     reference engine exactly (asserted by the test suite): same labels,
@@ -98,78 +131,20 @@ def bsp_connected_components(
         raise ValueError(
             "BSP connected components requires an undirected graph"
         )
-    n = graph.num_vertices
-    tracer = Tracer(label="bsp/cc")
-    labels = np.arange(n, dtype=np.int64)
-    deg = graph.degrees()
-    row_ptr, col_idx = graph.row_ptr, graph.col_idx
-    src = graph.arc_sources()
-
-    active_hist: list[int] = []
-    message_hist: list[int] = []
-
-    def queue_traffic(
-        raw_sent: int, enq_raw: np.ndarray
-    ) -> tuple[int, np.ndarray]:
-        """Messages and per-destination enqueues actually materialized."""
-        if not combine_messages or raw_sent == 0:
-            return raw_sent, enq_raw
-        combined = np.minimum(enq_raw, 1)
-        return int(combined.sum()), combined
-
-    # Superstep 0: everyone floods its own id.
-    senders = np.arange(n, dtype=np.int64)
-    sent_raw = int(deg.sum())
-    sent, enq = queue_traffic(sent_raw, deg.astype(np.int64).copy())
-    record_superstep(
-        tracer, superstep=0, active=n, received=0, sent=sent,
-        enqueues_per_destination=enq, costs=costs,
+    engine = DenseBSPEngine(
+        graph, combine_messages=combine_messages, costs=costs
     )
-    active_hist.append(n)
-    message_hist.append(sent)
-
-    # Pending messages are represented implicitly: the senders of the
-    # previous superstep flooded labels[sender] along all their arcs.
-    superstep = 1
-    while sent and superstep < max_supersteps:
-        # Deliver: per-destination minimum over incoming labels.
-        arc_mask = arcs_from(senders, row_ptr)
-        dst = col_idx[arc_mask]
-        payload = labels[src[arc_mask]]
-
-        incoming_min = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
-        np.minimum.at(incoming_min, dst, payload)
-        receivers = np.unique(dst)
-        # With a combiner only the folded message per destination is
-        # dequeued; without one, every arc's message is.
-        received = int(receivers.size) if combine_messages else int(dst.size)
-        improved = receivers[incoming_min[receivers] < labels[receivers]]
-        labels[improved] = incoming_min[improved]
-
-        # Active set of this superstep = vertices with waiting messages.
-        active = int(receivers.size)
-        senders = improved
-        sent_raw = int(deg[senders].sum())
-        enq = np.zeros(n, dtype=np.int64)
-        if sent_raw:
-            out_mask = arcs_from(senders, row_ptr)
-            np.add.at(enq, col_idx[out_mask], 1)
-        sent, enq = queue_traffic(sent_raw, enq)
-        record_superstep(
-            tracer, superstep=superstep, active=active, received=received,
-            sent=sent, enqueues_per_destination=enq if sent else None,
-            costs=costs,
-        )
-        active_hist.append(active)
-        message_hist.append(sent)
-        superstep += 1
-
+    result = engine.run(
+        DenseConnectedComponents(),
+        max_supersteps=max_supersteps,
+        trace_label="bsp/cc",
+    )
+    labels = result.values
     return BSPComponentsResult(
         labels=labels,
         num_components=int(np.unique(labels).size),
-        num_supersteps=superstep,
-        active_per_superstep=active_hist,
-        messages_per_superstep=message_hist,
-        trace=tracer.trace,
+        num_supersteps=result.num_supersteps,
+        active_per_superstep=result.active_per_superstep,
+        messages_per_superstep=result.messages_per_superstep,
+        trace=result.trace,
     )
-

@@ -9,6 +9,10 @@ within the round).
 
 ``bsp_k_core`` answers membership for one ``k``; combined with the
 GraphCT decomposition kernel it also serves as a per-k cross-check.
+
+The module pairs the per-vertex :class:`BSPKCore` (run by the reference
+engine) with the whole-superstep :class:`DenseKCore` (run by the
+:class:`~repro.bsp.dense.DenseBSPEngine` — the benchmark path).
 """
 
 from __future__ import annotations
@@ -18,15 +22,13 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.bsp.instrumentation import record_superstep
+from repro.bsp.dense import DenseBSPEngine, DenseSuperstepContext, DenseVertexProgram
 from repro.bsp.vertex import VertexContext, VertexProgram
-from repro.bsp_algorithms._scatter import arcs_from
 from repro.graph.csr import CSRGraph
-from repro.runtime.loops import Tracer
 from repro.xmt.calibration import DEFAULT_COSTS, KernelCosts
 from repro.xmt.trace import WorkTrace
 
-__all__ = ["BSPKCore", "BSPKCoreResult", "bsp_k_core"]
+__all__ = ["BSPKCore", "BSPKCoreResult", "DenseKCore", "bsp_k_core"]
 
 
 class BSPKCore(VertexProgram):
@@ -51,6 +53,51 @@ class BSPKCore(VertexProgram):
                 ctx.value = -1
                 ctx.send_to_neighbors(1)
         ctx.vote_to_halt()
+
+
+class DenseKCore(DenseVertexProgram):
+    """k-core membership as whole-superstep array kernels.
+
+    Messages are departure notices, so ``np.add``-folding delivers each
+    surviving vertex its decrement count directly.  Records the peeling
+    wave in ``dropped_per_superstep``.
+    """
+
+    combine = np.add
+    combine_identity = 0
+    message_dtype = np.int64
+
+    def __init__(self, k: int):
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        self.k = k
+        #: Vertices dropped per superstep (rebuilt each run).
+        self.dropped_per_superstep: list[int] = []
+
+    def initial_values(self, graph: CSRGraph) -> np.ndarray:
+        """Every vertex starts with its full degree surviving."""
+        self.dropped_per_superstep = []
+        return graph.degrees().astype(np.int64)
+
+    def arc_payload(
+        self, graph: CSRGraph, values: np.ndarray, arc_mask: np.ndarray
+    ) -> np.ndarray:
+        """One departure notice per arc out of a dropped vertex."""
+        return np.ones(int(np.count_nonzero(arc_mask)), dtype=np.int64)
+
+    def compute(self, ctx: DenseSuperstepContext) -> np.ndarray | None:
+        ctx.vote_to_halt()
+        values = ctx.values
+        if ctx.superstep == 0:
+            droppers = ctx.active[values[ctx.active] < self.k]
+        else:
+            receivers = ctx.receivers
+            alive = receivers[values[receivers] >= 0]
+            values[alive] -= ctx.messages[alive]
+            droppers = alive[values[alive] < self.k]
+        values[droppers] = -1
+        self.dropped_per_superstep.append(int(droppers.size))
+        return droppers
 
 
 @dataclass
@@ -78,69 +125,21 @@ def bsp_k_core(
     costs: KernelCosts = DEFAULT_COSTS,
     max_supersteps: int = 100_000,
 ) -> BSPKCoreResult:
-    """Vectorized BSP k-core membership (semantics of :class:`BSPKCore`)."""
+    """Dense-engine BSP k-core membership (semantics of :class:`BSPKCore`)."""
     if graph.directed:
         raise ValueError("k-core requires an undirected graph")
     if k < 0:
         raise ValueError("k must be non-negative")
-    n = graph.num_vertices
-    tracer = Tracer(label="bsp/kcore")
-    deg = graph.degrees().astype(np.int64)
-    surviving = deg.copy()
-    alive = np.ones(n, dtype=bool)
-    row_ptr, col_idx = graph.row_ptr, graph.col_idx
-    src = graph.arc_sources()
-
-    dropped_hist: list[int] = []
-    message_hist: list[int] = []
-
-    # Superstep 0: everyone checks its initial degree.
-    droppers = np.flatnonzero(surviving < k)
-    alive[droppers] = False
-    sent = int(deg[droppers].sum())
-    enq = np.zeros(n, dtype=np.int64)
-    if sent:
-        np.add.at(enq, col_idx[arcs_from(droppers, row_ptr)], 1)
-    record_superstep(
-        tracer, superstep=0, active=n, received=0, sent=sent,
-        enqueues_per_destination=enq if sent else None, costs=costs,
+    program = DenseKCore(k)
+    engine = DenseBSPEngine(graph, costs=costs)
+    result = engine.run(
+        program, max_supersteps=max_supersteps, trace_label="bsp/kcore"
     )
-    dropped_hist.append(int(droppers.size))
-    message_hist.append(sent)
-
-    superstep = 1
-    while sent and superstep < max_supersteps:
-        arc_mask = arcs_from(droppers, row_ptr)
-        dst = col_idx[arc_mask]
-        received = int(dst.size)
-        decrements = np.zeros(n, dtype=np.int64)
-        np.add.at(decrements, dst, 1)
-        receivers = np.unique(dst)
-        surviving[receivers] -= decrements[receivers]
-        newly_dropped = receivers[
-            alive[receivers] & (surviving[receivers] < k)
-        ]
-        alive[newly_dropped] = False
-
-        droppers = newly_dropped
-        sent = int(deg[droppers].sum())
-        enq = np.zeros(n, dtype=np.int64)
-        if sent:
-            np.add.at(enq, col_idx[arcs_from(droppers, row_ptr)], 1)
-        record_superstep(
-            tracer, superstep=superstep, active=int(receivers.size),
-            received=received, sent=sent,
-            enqueues_per_destination=enq if sent else None, costs=costs,
-        )
-        dropped_hist.append(int(newly_dropped.size))
-        message_hist.append(sent)
-        superstep += 1
-
     return BSPKCoreResult(
         k=k,
-        in_core=alive,
-        num_supersteps=superstep,
-        dropped_per_superstep=dropped_hist,
-        messages_per_superstep=message_hist,
-        trace=tracer.trace,
+        in_core=result.values >= 0,
+        num_supersteps=result.num_supersteps,
+        dropped_per_superstep=program.dropped_per_superstep,
+        messages_per_superstep=result.messages_per_superstep,
+        trace=result.trace,
     )

@@ -6,6 +6,10 @@ fixed number of supersteps (Pregel's original formulation runs 30).  Not
 part of the paper's experiments; included because it exercises the
 framework's sum-combiner and aggregator surfaces and cross-validates
 against the shared-memory :func:`repro.graphct.pagerank` kernel.
+
+The module pairs the per-vertex :class:`BSPPageRank` (run by the
+reference engine) with the whole-superstep :class:`DensePageRank` (run by
+the :class:`~repro.bsp.dense.DenseBSPEngine` — the benchmark path).
 """
 
 from __future__ import annotations
@@ -15,14 +19,13 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.bsp.instrumentation import record_superstep
+from repro.bsp.dense import DenseBSPEngine, DenseSuperstepContext, DenseVertexProgram
 from repro.bsp.vertex import VertexContext, VertexProgram
 from repro.graph.csr import CSRGraph
-from repro.runtime.loops import Tracer
 from repro.xmt.calibration import DEFAULT_COSTS, KernelCosts
 from repro.xmt.trace import WorkTrace
 
-__all__ = ["BSPPageRank", "BSPPageRankResult", "bsp_pagerank"]
+__all__ = ["BSPPageRank", "BSPPageRankResult", "DensePageRank", "bsp_pagerank"]
 
 
 class BSPPageRank(VertexProgram):
@@ -70,9 +73,67 @@ class BSPPageRank(VertexProgram):
             ctx.vote_to_halt()
 
 
+class DensePageRank(DenseVertexProgram):
+    """Fixed-superstep PageRank as whole-superstep array kernels.
+
+    Dangling-vertex mass is redistributed uniformly every superstep: via
+    the ``dangling`` sum aggregator when the engine provides one, through
+    an internal sum otherwise (both produce identical ranks — the
+    aggregated value *is* that sum, delayed one superstep boundary).
+    """
+
+    combine = np.add
+    combine_identity = 0.0
+    message_dtype = np.float64
+
+    def __init__(self, num_supersteps: int = 30, damping: float = 0.85):
+        if num_supersteps < 1:
+            raise ValueError("num_supersteps must be >= 1")
+        if not 0.0 < damping < 1.0:
+            raise ValueError("damping must be in (0, 1)")
+        self.num_supersteps = num_supersteps
+        self.damping = damping
+
+    def initial_values(self, graph: CSRGraph) -> np.ndarray:
+        """Uniform 1/n starting rank."""
+        n = graph.num_vertices
+        return np.full(n, 1.0 / max(n, 1))
+
+    def arc_payload(
+        self, graph: CSRGraph, values: np.ndarray, arc_mask: np.ndarray
+    ) -> np.ndarray:
+        """A sender floods ``rank / degree`` to each neighbour."""
+        deg = graph.degrees().astype(np.float64)
+        share = np.zeros(values.size)
+        np.divide(values, deg, out=share, where=deg > 0)
+        return share[graph.arc_sources()[arc_mask]]
+
+    def compute(self, ctx: DenseSuperstepContext) -> np.ndarray | None:
+        n = ctx.num_vertices
+        values = ctx.values
+        dangling_mask = ctx.graph.degrees() == 0
+        if ctx.superstep > 0:
+            try:
+                dangling = float(ctx.aggregated("dangling") or 0.0)
+            except KeyError:
+                dangling = float(values[dangling_mask].sum())
+            values[:] = (
+                (1.0 - self.damping) / n
+                + self.damping * (ctx.messages + dangling / n)
+            )
+        if ctx.superstep < self.num_supersteps:
+            try:
+                ctx.aggregate("dangling", float(values[dangling_mask].sum()))
+            except KeyError:
+                pass
+            return ctx.active
+        ctx.vote_to_halt()
+        return None
+
+
 @dataclass
 class BSPPageRankResult:
-    """Outcome of the vectorized BSP PageRank."""
+    """Outcome of the dense-engine BSP PageRank."""
 
     ranks: np.ndarray
     num_supersteps: int
@@ -87,47 +148,17 @@ def bsp_pagerank(
     damping: float = 0.85,
     costs: KernelCosts = DEFAULT_COSTS,
 ) -> BSPPageRankResult:
-    """Vectorized fixed-superstep BSP PageRank (with dangling handling)."""
-    if num_supersteps < 1:
-        raise ValueError("num_supersteps must be >= 1")
-    if not 0.0 < damping < 1.0:
-        raise ValueError("damping must be in (0, 1)")
-    n = graph.num_vertices
-    tracer = Tracer(label="bsp/pagerank")
-    if n == 0:
-        return BSPPageRankResult(
-            ranks=np.empty(0), num_supersteps=0, trace=tracer.trace
-        )
-    ranks = np.full(n, 1.0 / n)
-    deg = graph.degrees().astype(np.float64)
-    dangling_mask = deg == 0
-    src = graph.arc_sources()
-    dst = graph.col_idx
-    message_hist: list[int] = []
-    arcs = graph.num_arcs
-    enq = np.zeros(n, dtype=np.int64)
-    np.add.at(enq, dst, 1)
-
-    for superstep in range(num_supersteps + 1):
-        sending = superstep < num_supersteps
-        sent = arcs if sending else 0
-        if superstep > 0:
-            contrib = np.zeros(n)
-            share = np.zeros(n)
-            np.divide(ranks, deg, out=share, where=~dangling_mask)
-            np.add.at(contrib, dst, share[src])
-            dangling = float(ranks[dangling_mask].sum())
-            ranks = (1.0 - damping) / n + damping * (contrib + dangling / n)
-        record_superstep(
-            tracer, superstep=superstep, active=n,
-            received=arcs if superstep > 0 else 0, sent=sent,
-            enqueues_per_destination=enq if sent else None, costs=costs,
-        )
-        message_hist.append(sent)
-
+    """Dense-engine fixed-superstep BSP PageRank (with dangling handling)."""
+    program = DensePageRank(num_supersteps=num_supersteps, damping=damping)
+    engine = DenseBSPEngine(graph, costs=costs)
+    result = engine.run(
+        program,
+        max_supersteps=num_supersteps + 1,
+        trace_label="bsp/pagerank",
+    )
     return BSPPageRankResult(
-        ranks=ranks,
-        num_supersteps=num_supersteps + 1,
-        messages_per_superstep=message_hist,
-        trace=tracer.trace,
+        ranks=result.values,
+        num_supersteps=result.num_supersteps,
+        messages_per_superstep=result.messages_per_superstep,
+        trace=result.trace,
     )

@@ -4,6 +4,11 @@ The distance-flooding generalization of Algorithm 2 to weighted edges —
 the algorithm behind the paper's Kajdanowicz et al. comparison (Giraph
 SSSP on a Twitter graph, §IV).  A vertex adopting a shorter distance
 floods ``distance + w(v, n)`` to each neighbour ``n``.
+
+The module pairs the per-vertex :class:`BSPShortestPaths` (run by the
+reference engine) with the whole-superstep :class:`DenseShortestPaths`
+(run by the :class:`~repro.bsp.dense.DenseBSPEngine` — the benchmark
+path).
 """
 
 from __future__ import annotations
@@ -13,15 +18,18 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.bsp.instrumentation import record_superstep
+from repro.bsp.dense import DenseBSPEngine, DenseSuperstepContext, DenseVertexProgram
 from repro.bsp.vertex import VertexContext, VertexProgram
-from repro.bsp_algorithms._scatter import arcs_from
 from repro.graph.csr import CSRGraph
-from repro.runtime.loops import Tracer
 from repro.xmt.calibration import DEFAULT_COSTS, KernelCosts
 from repro.xmt.trace import WorkTrace
 
-__all__ = ["BSPShortestPaths", "BSPSSSPResult", "bsp_sssp"]
+__all__ = [
+    "BSPShortestPaths",
+    "BSPSSSPResult",
+    "DenseShortestPaths",
+    "bsp_sssp",
+]
 
 
 class BSPShortestPaths(VertexProgram):
@@ -49,9 +57,45 @@ class BSPShortestPaths(VertexProgram):
         ctx.vote_to_halt()
 
 
+class DenseShortestPaths(DenseVertexProgram):
+    """Weighted distance flooding as whole-superstep array kernels."""
+
+    combine = np.minimum
+    combine_identity = np.inf
+    message_dtype = np.float64
+
+    def __init__(self, source: int):
+        self.source = int(source)
+
+    def initial_values(self, graph: CSRGraph) -> np.ndarray:
+        """Distance 0 at the source, infinity elsewhere."""
+        dist = np.full(graph.num_vertices, np.inf)
+        dist[self.source] = 0.0
+        return dist
+
+    def arc_payload(
+        self, graph: CSRGraph, values: np.ndarray, arc_mask: np.ndarray
+    ) -> np.ndarray:
+        """A sender floods its distance plus the arc weight (unit arcs
+        when the graph is unweighted)."""
+        payload = values[graph.arc_sources()[arc_mask]]
+        if graph.weights is not None:
+            return payload + graph.weights[arc_mask]
+        return payload + 1.0
+
+    def compute(self, ctx: DenseSuperstepContext) -> np.ndarray | None:
+        ctx.vote_to_halt()
+        if ctx.superstep == 0:
+            return np.asarray([self.source], dtype=np.int64)
+        dist, receivers = ctx.values, ctx.receivers
+        improved = receivers[ctx.messages[receivers] < dist[receivers]]
+        dist[improved] = ctx.messages[improved]
+        return improved
+
+
 @dataclass
 class BSPSSSPResult:
-    """Outcome of the vectorized BSP shortest paths."""
+    """Outcome of the dense-engine BSP shortest paths."""
 
     source: int
     #: Shortest distances; +inf for unreachable vertices.
@@ -73,69 +117,23 @@ def bsp_sssp(
     costs: KernelCosts = DEFAULT_COSTS,
     max_supersteps: int = 100_000,
 ) -> BSPSSSPResult:
-    """Vectorized BSP SSSP (unit weights when the graph is unweighted)."""
+    """Dense-engine BSP SSSP (unit weights when the graph is unweighted)."""
     n = graph.num_vertices
     if not 0 <= source < n:
         raise IndexError(f"source {source} out of range [0, {n})")
     if graph.weights is not None and graph.weights.size and graph.weights.min() < 0:
         raise ValueError("bsp_sssp requires non-negative weights")
-    tracer = Tracer(label="bsp/sssp")
-    dist = np.full(n, np.inf)
-    dist[source] = 0.0
-    deg = graph.degrees()
-    row_ptr, col_idx = graph.row_ptr, graph.col_idx
-    src = graph.arc_sources()
-    weights = (
-        graph.weights if graph.weights is not None else np.ones(col_idx.size)
+    engine = DenseBSPEngine(graph, costs=costs)
+    result = engine.run(
+        DenseShortestPaths(source),
+        max_supersteps=max_supersteps,
+        trace_label="bsp/sssp",
     )
-
-    active_hist: list[int] = []
-    message_hist: list[int] = []
-
-    senders = np.asarray([source], dtype=np.int64)
-    sent = int(deg[senders].sum())
-    enq = np.zeros(n, dtype=np.int64)
-    np.add.at(enq, col_idx[row_ptr[source]: row_ptr[source + 1]], 1)
-    record_superstep(
-        tracer, superstep=0, active=n, received=0, sent=sent,
-        enqueues_per_destination=enq if sent else None, costs=costs,
-    )
-    active_hist.append(n)
-    message_hist.append(sent)
-
-    superstep = 1
-    while sent and superstep < max_supersteps:
-        arc_mask = arcs_from(senders, row_ptr)
-        dst = col_idx[arc_mask]
-        payload = dist[src[arc_mask]] + weights[arc_mask]
-        received = int(dst.size)
-
-        incoming = np.full(n, np.inf)
-        np.minimum.at(incoming, dst, payload)
-        receivers = np.unique(dst)
-        improved = receivers[incoming[receivers] < dist[receivers]]
-        dist[improved] = incoming[improved]
-
-        active = int(receivers.size)
-        senders = improved
-        sent = int(deg[senders].sum())
-        enq = np.zeros(n, dtype=np.int64)
-        if sent:
-            np.add.at(enq, col_idx[arcs_from(senders, row_ptr)], 1)
-        record_superstep(
-            tracer, superstep=superstep, active=active, received=received,
-            sent=sent, enqueues_per_destination=enq if sent else None,
-            costs=costs,
-        )
-        active_hist.append(active)
-        message_hist.append(sent)
-        superstep += 1
-
     return BSPSSSPResult(
         source=source,
-        distances=dist,
-        num_supersteps=superstep,
-        active_per_superstep=active_hist,
-        messages_per_superstep=message_hist,
-        trace=tracer.trace,
+        distances=result.values,
+        num_supersteps=result.num_supersteps,
+        active_per_superstep=result.active_per_superstep,
+        messages_per_superstep=result.messages_per_superstep,
+        trace=result.trace,
     )

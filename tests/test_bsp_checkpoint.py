@@ -202,6 +202,105 @@ class TestCheckpointMechanics:
         )
 
 
+class TestCombinedResumeAccounting:
+    """With a combiner, ``pending`` holds only the folded messages — the
+    raw send-side counters must travel in the checkpoint explicitly."""
+
+    def test_checkpoint_carries_raw_buffer_counters(self, crash_graph):
+        store = CheckpointStore(retain=100)
+        clean = BSPEngine(crash_graph, combiner=MinCombiner()).run(
+            BSPConnectedComponents(),
+            checkpoint_every=1,
+            checkpoint_store=store,
+        )
+        for ck in store._checkpoints:
+            # The pending buffer is the previous superstep's outbox; its
+            # raw total is exactly what that superstep recorded as sent.
+            assert ck.buffer_total_sent == (
+                clean.messages_per_superstep[ck.superstep - 1]
+            )
+            assert int(ck.buffer_enqueues.sum()) == ck.buffer_total_sent
+            # Folding drops messages, so the raw count can only exceed
+            # the materialized pending list.
+            assert ck.buffer_total_sent >= len(ck.pending)
+        # Superstep 0 floods every arc: multi-arc destinations folded,
+        # so the divergence the counters preserve is strict there.
+        first = min(store._checkpoints, key=lambda c: c.superstep)
+        assert first.buffer_total_sent > len(first.pending)
+
+    def test_combined_resume_matches_uninterrupted(self, crash_graph):
+        clean = BSPEngine(crash_graph, combiner=MinCombiner()).run(
+            BSPConnectedComponents()
+        )
+        store = CheckpointStore()
+        program = CrashingCC(3)
+        engine = BSPEngine(crash_graph, combiner=MinCombiner())
+        with pytest.raises(CrashError):
+            engine.run(program, checkpoint_every=2, checkpoint_store=store)
+        program.armed = False
+        resumed = BSPEngine(crash_graph, combiner=MinCombiner()).run(
+            program, resume_from=store.latest
+        )
+        assert resumed.values == clean.values
+        assert resumed.num_supersteps == clean.num_supersteps
+        assert resumed.messages_per_superstep == clean.messages_per_superstep
+        assert resumed.active_per_superstep == clean.active_per_superstep
+
+    def test_checkpoints_after_combined_resume_match_clean(self, crash_graph):
+        clean_store = CheckpointStore(retain=100)
+        BSPEngine(crash_graph, combiner=MinCombiner()).run(
+            BSPConnectedComponents(),
+            checkpoint_every=2,
+            checkpoint_store=clean_store,
+        )
+        store = CheckpointStore(retain=100)
+        program = CrashingCC(3)
+        engine = BSPEngine(crash_graph, combiner=MinCombiner())
+        with pytest.raises(CrashError):
+            engine.run(program, checkpoint_every=2, checkpoint_store=store)
+        program.armed = False
+        BSPEngine(crash_graph, combiner=MinCombiner()).run(
+            program,
+            resume_from=store.latest,
+            checkpoint_every=2,
+            checkpoint_store=store,
+        )
+        clean_by_step = {c.superstep: c for c in clean_store._checkpoints}
+        resumed_later = [
+            c for c in store._checkpoints if c.superstep > 2
+        ]
+        assert resumed_later, "resume wrote no further checkpoints"
+        for ck in resumed_later:
+            ref = clean_by_step[ck.superstep]
+            assert ck.values == ref.values
+            assert sorted(ck.pending) == sorted(ref.pending)
+            assert ck.buffer_total_sent == ref.buffer_total_sent
+            assert (
+                ck.buffer_enqueues.tolist() == ref.buffer_enqueues.tolist()
+            )
+
+    def test_legacy_checkpoint_still_resumes(self, crash_graph):
+        """Checkpoints without the counter fields (format v1) resume on a
+        best-effort replay."""
+        store = CheckpointStore()
+        engine = BSPEngine(crash_graph)
+        clean = engine.run(BSPConnectedComponents())
+        engine.run(
+            BSPConnectedComponents(),
+            max_supersteps=3,
+            checkpoint_every=2,
+            checkpoint_store=store,
+        )
+        ck = store.latest
+        assert ck is not None
+        ck.buffer_total_sent = None
+        ck.buffer_enqueues = None
+        resumed = BSPEngine(crash_graph).run(
+            BSPConnectedComponents(), resume_from=ck
+        )
+        assert resumed.values == clean.values
+
+
 class TestDiskRoundTrip:
     def test_save_load(self, tmp_path, crash_graph):
         store = CheckpointStore()

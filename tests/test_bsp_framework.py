@@ -84,6 +84,50 @@ class TestMessageBuffer:
         with pytest.raises(ValueError):
             MessageBuffer(-1)
 
+    def test_messages_for_returns_a_copy(self):
+        """Mutating the returned list must not corrupt the queue."""
+        buf = MessageBuffer(3)
+        buf.send(0, 1, "a")
+        got = buf.messages_for(1)
+        got.clear()
+        got.append("bogus")
+        assert buf.messages_for(1) == ["a"]
+
+    def test_restore_replays_pending(self):
+        buf = MessageBuffer(3)
+        buf.send(0, 1, "a")
+        buf.send(0, 2, "b")
+        clone = MessageBuffer.restore(3, None, buf.all_messages())
+        assert sorted(clone.all_messages()) == sorted(buf.all_messages())
+        assert clone.total_sent == buf.total_sent
+        assert (
+            clone.enqueues_per_destination.tolist()
+            == buf.enqueues_per_destination.tolist()
+        )
+
+    def test_restore_reproduces_combined_counters(self):
+        """A combined buffer keeps only folded messages, so a replay
+        alone undercounts the send-side accounting; the explicit counters
+        restore it exactly."""
+        buf = MessageBuffer(3, MinCombiner())
+        for m in (5, 3, 9):
+            buf.send(0, 1, m)
+        buf.send(0, 2, 7)
+        pending = buf.all_messages()
+        assert len(pending) == 2  # folded: one message per destination
+        replayed = MessageBuffer.restore(3, MinCombiner(), pending)
+        assert replayed.total_sent == 2  # the undercount being fixed
+        exact = MessageBuffer.restore(
+            3,
+            MinCombiner(),
+            pending,
+            total_sent=buf.total_sent,
+            enqueues_per_destination=buf.enqueues_per_destination,
+        )
+        assert exact.total_sent == 4
+        assert exact.enqueues_per_destination.tolist() == [0, 3, 1]
+        assert exact.messages_for(1) == [3]
+
 
 class TestCombiners:
     def test_min_max_sum(self):
@@ -235,6 +279,41 @@ class TestEngineSemantics:
 
         with pytest.raises(KeyError, match="nope"):
             BSPEngine(ring_graph(3)).run(BadAgg())
+
+    def test_program_may_mutate_its_messages(self):
+        """A program sorting/popping its ``messages`` argument must not
+        corrupt the queue another vertex still reads (regression: the
+        buffer used to hand out its internal list)."""
+
+        class GreedyMin(VertexProgram):
+            def initial_value(self, vertex, graph):
+                return None
+
+            def compute(self, ctx, messages):
+                if ctx.superstep == 0:
+                    ctx.send(2, ctx.vertex_id)
+                    ctx.send(2, ctx.vertex_id + 10)
+                elif messages:
+                    messages.sort()
+                    ctx.value = messages.pop(0)
+                    messages.clear()
+                ctx.vote_to_halt()
+
+        g = from_edge_list([(0, 2), (1, 2)], num_vertices=3)
+        res = BSPEngine(g).run(GreedyMin())
+        assert res.values[2] == 0
+
+    def test_result_values_do_not_alias_engine_state(self):
+        """A stored result must survive later mutation of the engine's
+        run state (regression: ``BSPResult.values`` aliased it)."""
+        engine = BSPEngine(path_graph(3))
+        res = engine.run(EchoOnce())
+        assert res.values == [1, 2, 1]
+        engine.values[0] = 999
+        assert res.values == [1, 2, 1]
+        rerun = engine.run(Noop())
+        assert res.values == [1, 2, 1]
+        assert rerun.values == [None, None, None]
 
     def test_send_to_arbitrary_vertex(self):
         """Pregel: a vertex may message any vertex it can identify."""
