@@ -1,0 +1,134 @@
+"""Measured strong scaling of the sharded BSP engine.
+
+The paper's central experiment (Figures 1-4) is strong scaling of BSP
+graph kernels from 1 to 128 XMT processors.  Everything else in
+``benchmarks/`` reproduces those curves through the *cost model*; this
+benchmark produces real measured speedup-vs-workers curves by running
+the same dense programs on :class:`~repro.bsp.parallel.ShardedBSPEngine`
+at 1, 2, 4, and 8 workers.  Overlay against ``bench_fig3_bfs_scaling``
+to compare the measured shape with the paper's Figure 3 shape.
+
+The equivalence suite guarantees every point on the curve computes the
+same answer, so the only variable is worker count.  Speedup here is
+bounded by the host's cores and by the serial fraction of a superstep
+(the parent-side ``compute`` plus the combiner merge at the barrier) —
+the measured curve bends exactly where Amdahl says it must, which is
+the point of the exercise.
+"""
+
+import os
+import time
+
+from conftest import once
+
+import numpy as np
+
+from repro.analysis.report import format_seconds
+from repro.bsp import DenseBSPEngine, ShardedBSPEngine
+from repro.bsp_algorithms import (
+    DenseBreadthFirstSearch,
+    DenseConnectedComponents,
+)
+
+WORKER_COUNTS = (1, 2, 4, 8)
+
+PROGRAMS = {
+    "cc": lambda: DenseConnectedComponents(),
+    "bfs": lambda: DenseBreadthFirstSearch(0),
+}
+
+
+def _time_run(engine, make_program):
+    t0 = time.perf_counter()
+    result = engine.run(make_program())
+    return result, time.perf_counter() - t0
+
+
+def bench_parallel_scaling(benchmark, workload, capsys):
+    graph = workload.graph
+
+    def run():
+        times = {}  # (program, workers) -> seconds
+        results = {}
+        for name, make_program in PROGRAMS.items():
+            dense = DenseBSPEngine(graph)
+            results[name, "dense"], times[name, "dense"] = _time_run(
+                dense, make_program
+            )
+            for workers in WORKER_COUNTS:
+                with ShardedBSPEngine(
+                    graph, num_workers=workers, partition="balanced-edge"
+                ) as engine:
+                    # Warm the pool so the curve measures superstep
+                    # dispatch, not process start-up.
+                    engine.run(make_program())
+                    results[name, workers], times[name, workers] = _time_run(
+                        engine, make_program
+                    )
+        return results, times
+
+    results, times = once(benchmark, run)
+
+    # Every point on the curve is the same computation.
+    for name in PROGRAMS:
+        baseline = results[name, "dense"]
+        for workers in WORKER_COUNTS:
+            sharded = results[name, workers]
+            assert np.array_equal(baseline.values, sharded.values)
+            assert baseline.num_supersteps == sharded.num_supersteps
+            assert (
+                baseline.messages_per_superstep
+                == sharded.messages_per_superstep
+            )
+
+    speedups = {
+        name: {
+            workers: times[name, 1] / times[name, workers]
+            for workers in WORKER_COUNTS
+        }
+        for name in PROGRAMS
+    }
+
+    # Acceptance bar: >1.7x at 4 workers for CC or BFS — only meaningful
+    # on a host that actually has 4 cores to scale onto.
+    cores = os.cpu_count() or 1
+    if cores >= 4:
+        best_at_4 = max(speedups[name][4] for name in PROGRAMS)
+        assert best_at_4 > 1.7, (
+            f"expected >1.7x at 4 workers on a {cores}-core host, "
+            f"got {best_at_4:.2f}x"
+        )
+
+    benchmark.extra_info.update(
+        host_cores=cores,
+        worker_counts=list(WORKER_COUNTS),
+        seconds={
+            name: {
+                str(w): round(times[name, w], 4)
+                for w in ("dense", *WORKER_COUNTS)
+            }
+            for name in PROGRAMS
+        },
+        speedup_vs_1_worker={
+            name: {str(w): round(s, 2) for w, s in speedups[name].items()}
+            for name in PROGRAMS
+        },
+        paper="Figure 3 shape: near-linear at apex levels, flat tails",
+    )
+
+    with capsys.disabled():
+        print(
+            f"\nmeasured strong scaling (scale {workload.config.scale}, "
+            f"{cores} host core(s)):"
+        )
+        header = "".join(f"{f'{w}w':>10}" for w in WORKER_COUNTS)
+        print(f"  {'kernel':<6}{'dense':>10}{header}   speedup@4w")
+        for name in PROGRAMS:
+            row = "".join(
+                f"{format_seconds(times[name, w]):>10}"
+                for w in WORKER_COUNTS
+            )
+            print(
+                f"  {name:<6}{format_seconds(times[name, 'dense']):>10}"
+                f"{row}   {speedups[name][4]:.2f}x"
+            )

@@ -12,7 +12,7 @@ re-activates it.  Messages crossing superstep boundaries make the model
 deadlock-free by construction, at the price of computing on stale data
 (the effect behind the paper's connected-components iteration blow-up).
 
-Two engines share these semantics:
+Three engines share these semantics:
 
 * :class:`~repro.bsp.engine.BSPEngine` — the reference engine: runs any
   user :class:`~repro.bsp.vertex.VertexProgram` one vertex at a time in
@@ -21,8 +21,13 @@ Two engines share these semantics:
   runs a :class:`~repro.bsp.dense.DenseVertexProgram` (whole-superstep
   NumPy kernels) with a combiner-fused scatter/gather.  The benchmark
   path behind :mod:`repro.bsp_algorithms`.
+* :class:`~repro.bsp.parallel.ShardedBSPEngine` — the multi-worker
+  path: the same dense programs with scatter/gather fanned out over a
+  pool of OS processes sharing the CSR through
+  :mod:`multiprocessing.shared_memory`.  The measured counterpart of
+  the paper's 1–128 processor strong-scaling study.
 
-Both engines record the same instrumentation (messages per superstep,
+All engines record the same instrumentation (messages per superstep,
 active vertices, per-destination queue pressure) into an XMT work trace
 and produce identical :class:`~repro.bsp.engine.BSPResult` s for
 equivalent programs — asserted by the equivalence suite.
@@ -55,9 +60,41 @@ from repro.bsp.dense import (
 )
 from repro.bsp.engine import BSPEngine, BSPResult
 from repro.bsp.messages import MessageBuffer
+from repro.bsp.parallel import (
+    PARTITION_POLICIES,
+    ShardedBSPEngine,
+    ShardedWorkerError,
+)
 from repro.bsp.vertex import VertexContext, VertexProgram
 
+#: Engine selection modes accepted by :func:`make_engine`.
+ENGINE_MODES = ("dense", "sharded")
+
+
+def make_engine(graph, mode="dense", *, num_workers=None, **kwargs):
+    """Build a dense-program BSP engine by name.
+
+    ``mode="dense"`` gives the single-process
+    :class:`~repro.bsp.dense.DenseBSPEngine`; ``mode="sharded"`` the
+    multi-process :class:`~repro.bsp.parallel.ShardedBSPEngine`.  As a
+    convenience, ``mode="dense"`` with ``num_workers`` > 1 upgrades to
+    the sharded engine, so callers can thread one worker-count knob
+    through.  Extra keyword arguments pass to the engine constructor.
+    """
+    if mode not in ENGINE_MODES:
+        raise ValueError(f"mode must be one of {ENGINE_MODES}")
+    if mode == "sharded" or (num_workers is not None and num_workers > 1):
+        return ShardedBSPEngine(graph, num_workers=num_workers, **kwargs)
+    kwargs.pop("partition", None)
+    return DenseBSPEngine(graph, **kwargs)
+
+
 __all__ = [
+    "ENGINE_MODES",
+    "PARTITION_POLICIES",
+    "ShardedBSPEngine",
+    "ShardedWorkerError",
+    "make_engine",
     "Aggregator",
     "BSPEngine",
     "BSPResult",

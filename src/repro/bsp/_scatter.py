@@ -24,8 +24,13 @@ def arcs_from(senders: np.ndarray, row_ptr: np.ndarray) -> np.ndarray:
 def enqueue_histogram(
     destinations: np.ndarray, num_vertices: int
 ) -> np.ndarray:
-    """Messages enqueued per destination vertex."""
-    enq = np.zeros(num_vertices, dtype=np.int64)
-    if destinations.size:
-        np.add.at(enq, destinations, 1)
-    return enq
+    """Messages enqueued per destination vertex.
+
+    ``np.bincount`` rather than ``np.add.at``: the unbuffered ufunc
+    scatter is several times slower for plain int64 counting.
+    """
+    if not destinations.size:
+        return np.zeros(num_vertices, dtype=np.int64)
+    return np.bincount(destinations, minlength=num_vertices).astype(
+        np.int64, copy=False
+    )

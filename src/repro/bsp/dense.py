@@ -222,6 +222,10 @@ class DenseBSPEngine:
         self.halted: np.ndarray = np.zeros(0, dtype=bool)
         self._agg_current: dict[str, Any] = {}
         self._agg_visible: dict[str, Any] = {}
+        # Pending-scatter state shared with the gather of the next
+        # superstep (see _scatter/_gather).
+        self._pending_mask: np.ndarray | None = None
+        self._pending_hist: np.ndarray | None = None
 
     # -- aggregator plumbing (called through DenseSuperstepContext) ----
     def aggregate(self, name: str, value: Any) -> None:
@@ -277,8 +281,6 @@ class DenseBSPEngine:
             )
         graph = self.graph
         n = graph.num_vertices
-        deg = graph.degrees()
-        row_ptr, col_idx = graph.row_ptr, graph.col_idx
         tracer = Tracer(label=trace_label)
         result = BSPResult(values=[], num_supersteps=0)
 
@@ -293,7 +295,7 @@ class DenseBSPEngine:
                     "checkpoint was written by the reference BSPEngine; "
                     "resume it there"
                 )
-            self.values = np.array(ck.values)
+            values0 = np.array(ck.values)
             self.halted = np.asarray(ck.halted, dtype=bool).copy()
             senders = np.asarray(ck.dense_senders, dtype=np.int64).copy()
             self._agg_visible = dict(ck.aggregators)
@@ -310,7 +312,7 @@ class DenseBSPEngine:
             active0 = np.empty(0, dtype=np.int64)  # unused on resume
             superstep = ck.superstep
         else:
-            self.values = np.asarray(program.initial_values(graph))
+            values0 = np.asarray(program.initial_values(graph))
             self.halted = np.zeros(n, dtype=bool)
             senders = np.empty(0, dtype=np.int64)
             self._agg_visible = {
@@ -333,13 +335,14 @@ class DenseBSPEngine:
                 result.aggregator_history[name] = []
             superstep = 0
 
-        # Arc mask and enqueue histogram of the pending senders, carried
-        # across supersteps so scatter (enqueue accounting) and gather
-        # (delivery) share one mask computation and the receiver set
-        # falls out of the histogram instead of a sort.  Both are None
-        # right after a resume and are recomputed from the senders.
-        pending_mask: np.ndarray | None = None
-        pending_hist: np.ndarray | None = None
+        self._begin_run(program, values0)
+        # The pending-scatter state (arc mask / enqueue histogram of the
+        # current senders) is carried across supersteps so scatter
+        # (enqueue accounting) and gather (delivery) share one mask
+        # computation and the receiver set falls out of the histogram
+        # instead of a sort.  It is empty right after a resume and is
+        # recomputed from the senders.
+        self._scatter_reset()
         while superstep < max_supersteps:
             if (
                 checkpoint_every is not None
@@ -354,28 +357,8 @@ class DenseBSPEngine:
                 gathered = None
                 received = 0
             else:
-                if senders.size:
-                    arc_mask = (
-                        pending_mask
-                        if pending_mask is not None
-                        else arcs_from(senders, row_ptr)
-                    )
-                    dst = col_idx[arc_mask]
-                    payload = np.asarray(
-                        program.arc_payload(graph, self.values, arc_mask)
-                    )
-                    if pending_hist is None:
-                        pending_hist = enqueue_histogram(dst, n)
-                else:
-                    dst = np.empty(0, dtype=np.int64)
-                    payload = np.empty(0, dtype=program.message_dtype)
-                gathered = np.full(n, identity, dtype=program.message_dtype)
-                if dst.size:
-                    program.combine.at(gathered, dst, payload)
-                receivers = (
-                    np.flatnonzero(pending_hist)
-                    if dst.size
-                    else np.empty(0, dtype=np.int64)
+                gathered, receivers, raw_received = self._gather(
+                    program, senders, identity
                 )
                 if self.halted.all():
                     compute_set = receivers
@@ -386,7 +369,7 @@ class DenseBSPEngine:
                 received = (
                     int(receivers.size)
                     if self.combine_messages
-                    else int(dst.size)
+                    else raw_received
                 )
             if compute_set.size == 0:
                 break
@@ -405,18 +388,12 @@ class DenseBSPEngine:
             else:
                 new_senders = np.asarray(new_senders, dtype=np.int64)
 
-            sent_raw = int(deg[new_senders].sum()) if new_senders.size else 0
-            if sent_raw:
-                pending_mask = arcs_from(new_senders, row_ptr)
-                enq = enqueue_histogram(col_idx[pending_mask], n)
-            else:
-                pending_mask = None
-                enq = None
+            sent_raw, enq = self._scatter(program, new_senders)
             sent = sent_raw
             if self.combine_messages and sent_raw:
                 enq = np.minimum(enq, 1)
                 sent = int(enq.sum())
-            pending_hist = enq
+            self._pending_hist = enq
             record_superstep(
                 tracer,
                 superstep=superstep,
@@ -443,6 +420,93 @@ class DenseBSPEngine:
         result.values = self.values.copy()
         result.trace = tracer.trace
         return result
+
+    # -- execution hooks -------------------------------------------------
+    # The run loop above is shared with the sharded multi-process engine
+    # (:class:`repro.bsp.parallel.ShardedBSPEngine`), which overrides
+    # these four hooks; everything the equivalence contract depends on —
+    # active-set selection, halting, termination, accounting, checkpoint
+    # cadence — lives in ``run`` and is executed identically by both.
+
+    def _begin_run(self, program: DenseVertexProgram, values: np.ndarray) -> None:
+        """Install the initial per-vertex state for a fresh run/resume."""
+        self.values = values
+
+    def _scatter_reset(self) -> None:
+        """Drop pending-scatter state (start of a run or resume)."""
+        self._pending_mask = None
+        self._pending_hist = None
+
+    def _gather(
+        self,
+        program: DenseVertexProgram,
+        senders: np.ndarray,
+        identity: Any,
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Deliver the pending senders' messages.
+
+        Returns ``(gathered, receivers, raw_received)``: the per-vertex
+        combiner-folded message array, the sorted receiver set, and the
+        pre-fold message count (one per arc out of a sender).
+        """
+        graph = self.graph
+        n = graph.num_vertices
+        if senders.size:
+            arc_mask = (
+                self._pending_mask
+                if self._pending_mask is not None
+                else arcs_from(senders, graph.row_ptr)
+            )
+            dst = graph.col_idx[arc_mask]
+            payload = np.asarray(
+                program.arc_payload(graph, self.values, arc_mask)
+            )
+            if self._pending_hist is None:
+                self._pending_hist = enqueue_histogram(dst, n)
+        else:
+            dst = np.empty(0, dtype=np.int64)
+            payload = np.empty(0, dtype=program.message_dtype)
+        gathered = np.full(n, identity, dtype=program.message_dtype)
+        if dst.size:
+            program.combine.at(gathered, dst, payload)
+        receivers = (
+            np.flatnonzero(self._pending_hist)
+            if dst.size
+            else np.empty(0, dtype=np.int64)
+        )
+        return gathered, receivers, int(dst.size)
+
+    def _scatter(
+        self, program: DenseVertexProgram, new_senders: np.ndarray
+    ) -> tuple[int, np.ndarray | None]:
+        """Account the new senders' outgoing flood.
+
+        Returns ``(sent_raw, enqueues_per_destination)`` and retains the
+        arc mask so the next superstep's gather reuses it.
+        """
+        graph = self.graph
+        sent_raw = (
+            int(graph.degrees()[new_senders].sum()) if new_senders.size else 0
+        )
+        if sent_raw:
+            self._pending_mask = arcs_from(new_senders, graph.row_ptr)
+            enq = enqueue_histogram(
+                graph.col_idx[self._pending_mask], graph.num_vertices
+            )
+        else:
+            self._pending_mask = None
+            enq = None
+        return sent_raw, enq
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self) -> None:
+        """Release engine resources (no-op for the in-process engine)."""
+
+    def __enter__(self) -> "DenseBSPEngine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     # -- checkpointing ---------------------------------------------------
     def _snapshot(

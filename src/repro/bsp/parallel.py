@@ -1,0 +1,589 @@
+"""Sharded multi-process execution of dense BSP programs.
+
+The paper's central experiment is strong scaling from 1 to 128 XMT
+processors, but :class:`~repro.bsp.dense.DenseBSPEngine` executes every
+superstep on one core.  This module adds the multi-worker path: a
+:class:`ShardedBSPEngine` that runs the *same*
+:class:`~repro.bsp.dense.DenseVertexProgram` s with the edge-proportional
+scatter/gather work fanned out over a pool of OS processes —
+the standard partitioned-frontier + merged-exchange route from one core
+to many (Buluç & Madduri's distributed BFS; Pregel's worker model).
+
+Design:
+
+* **Zero-copy graph sharing** — the frozen CSR arrays (``row_ptr``,
+  ``col_idx``, ``weights``, plus the cached per-arc source vector) are
+  placed in :mod:`multiprocessing.shared_memory` once at pool start;
+  every worker maps them read-only.  The per-vertex ``values`` array
+  lives in a shared block too, so the parent's ``compute`` updates are
+  visible to workers without any per-superstep copy.
+* **Vertex partitioning** — vertices are assigned to workers with the
+  cluster placement policies (:func:`~repro.cluster.partition.hash_partition`
+  or :func:`~repro.cluster.partition.balanced_edge_partition`); a
+  superstep's sender set is split along that assignment and each worker
+  floods only its shard's out-arcs.
+* **Combiner merge at the barrier** — each worker folds its shard's
+  messages into a private per-destination array; the parent merges the
+  per-worker arrays with the program's combiner (``np.minimum`` /
+  ``np.add``), which is exactly the fold the dense engine computes in
+  one pass.  Enqueue histograms merge by summation, so the superstep
+  accounting fed to :func:`~repro.bsp.instrumentation.record_superstep`
+  is *identical* to the dense engine's at any worker count — results,
+  message histories and work traces stay equivalent (bit-identical for
+  every exact fold; PageRank's float summation order may differ in the
+  last ulp across shard boundaries, same as dense-vs-reference).
+* **Persistent pool with warm shard handles** — workers live for the
+  engine's lifetime and cache their shard's arc mask between the
+  scatter-accounting call and the delivery at the next superstep's
+  barrier, so each superstep costs two small pipe round-trips, not a
+  pool spawn.
+
+The engine subclasses :class:`DenseBSPEngine` and overrides only the
+scatter/gather hooks; the run loop — active-set selection, vote-to-halt,
+termination, aggregators, checkpoint/resume (checkpoints interchange
+freely with the dense engine) — is inherited verbatim.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from multiprocessing import get_all_start_methods, get_context, shared_memory
+from typing import Any
+
+import numpy as np
+
+from repro.bsp._scatter import arcs_from
+from repro.bsp.dense import DenseBSPEngine, DenseVertexProgram
+from repro.cluster.partition import (
+    balanced_edge_partition,
+    hash_partition,
+    shard_indices,
+)
+from repro.graph.csr import CSRGraph
+from repro.xmt.calibration import DEFAULT_COSTS, KernelCosts
+
+__all__ = [
+    "PARTITION_POLICIES",
+    "ShardedBSPEngine",
+    "ShardedWorkerError",
+]
+
+#: Placement policies understood by :class:`ShardedBSPEngine`.
+PARTITION_POLICIES = ("hash", "balanced-edge")
+
+
+class ShardedWorkerError(RuntimeError):
+    """A shard worker failed while executing its slice of a superstep."""
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory plumbing
+# ---------------------------------------------------------------------------
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing block created by the parent engine.
+
+    No resource-tracker gymnastics needed: worker processes (fork *and*
+    spawn/forkserver alike) inherit the parent's tracker, whose cache is
+    a per-type set — the workers' attach-time registrations deduplicate
+    against the parent's create-time one, and the parent's unlink clears
+    the single entry.  Unregistering here would instead corrupt that
+    shared cache.
+    """
+    return shared_memory.SharedMemory(name=name)
+
+
+def _new_block(nbytes: int) -> shared_memory.SharedMemory:
+    """Create a block (shared memory rejects zero-byte segments)."""
+    return shared_memory.SharedMemory(create=True, size=max(int(nbytes), 1))
+
+
+def _release_block(shm: shared_memory.SharedMemory | None) -> None:
+    """Unlink a block, tolerating still-exported NumPy views.
+
+    ``close`` raises :class:`BufferError` while any array over the
+    buffer is alive (e.g. a caller kept ``engine.values``); the unlink
+    still proceeds — the OS frees the segment when the last mapping
+    drops.
+    """
+    if shm is None:
+        return
+    try:
+        shm.close()
+    except BufferError:
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - defensive
+        pass
+
+
+# ---------------------------------------------------------------------------
+# Worker process
+# ---------------------------------------------------------------------------
+
+
+def _worker_main(conn, spec: dict) -> None:
+    """Shard worker: serve scatter/gather tasks until told to close.
+
+    The worker owns one vertex shard implicitly — the parent only ever
+    sends it the senders that live on its shard.  Warm state between
+    tasks: the run-scoped program/values/output handles and the cached
+    (generation, arc mask, destinations) of the last scatter, reused by
+    the gather of the following superstep.
+    """
+    n = spec["num_vertices"]
+    m = spec["num_arcs"]
+    w = spec["worker_index"]
+    handles: list[shared_memory.SharedMemory] = []
+
+    def attach_array(name, shape, dtype):
+        shm = _attach(name)
+        handles.append(shm)
+        return np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+
+    row_ptr = attach_array(spec["row_ptr"], (n + 1,), np.int64)
+    col_idx = attach_array(spec["col_idx"], (m,), np.int64)
+    weights = (
+        attach_array(spec["weights"], (m,), np.float64)
+        if spec["weights"] is not None
+        else None
+    )
+    arc_sources = attach_array(spec["arc_sources"], (m,), np.int64)
+    graph = CSRGraph(
+        row_ptr=row_ptr,
+        col_idx=col_idx,
+        weights=weights,
+        directed=spec["directed"],
+        sorted_adjacency=spec["sorted_adjacency"],
+    )
+    # Seed the per-arc source cache from shared memory so workers don't
+    # each rebuild (and privately hold) the O(arcs) expansion.
+    graph._degree_cache["arc_sources"] = arc_sources
+    hist_shm = _attach(spec["hist"])
+    handles.append(hist_shm)
+    hist_out = np.ndarray(
+        (n,), dtype=np.int64, buffer=hist_shm.buf, offset=w * n * 8
+    )
+
+    program: DenseVertexProgram | None = None
+    values: np.ndarray | None = None
+    gathered_out: np.ndarray | None = None
+    run_shms: list[shared_memory.SharedMemory] = []
+    mask = dst = None
+    generation = -1
+
+    def refresh_scatter(gen, senders):
+        nonlocal mask, dst, generation
+        mask = arcs_from(senders, row_ptr)
+        dst = col_idx[mask]
+        hist_out[:] = np.bincount(dst, minlength=n)
+        generation = gen
+
+    try:
+        while True:
+            msg = conn.recv()
+            cmd = msg[0]
+            if cmd == "close":
+                return
+            try:
+                if cmd == "run":
+                    _, program, values_name, values_dtype, gathered_name = msg
+                    for shm in run_shms:
+                        shm.close()
+                    vshm = _attach(values_name)
+                    gshm = _attach(gathered_name)
+                    run_shms = [vshm, gshm]
+                    values = np.ndarray(
+                        (n,), dtype=np.dtype(values_dtype), buffer=vshm.buf
+                    )
+                    mdtype = np.dtype(program.message_dtype)
+                    gathered_out = np.ndarray(
+                        (n,),
+                        dtype=mdtype,
+                        buffer=gshm.buf,
+                        offset=w * n * mdtype.itemsize,
+                    )
+                    mask = dst = None
+                    generation = -1
+                    conn.send(("ok",))
+                elif cmd == "scatter":
+                    _, gen, senders = msg
+                    refresh_scatter(gen, senders)
+                    conn.send(("ok", int(dst.size)))
+                elif cmd == "gather":
+                    _, gen, senders = msg
+                    hist_fresh = gen != generation
+                    if hist_fresh:  # resumed run: no prior scatter call
+                        refresh_scatter(gen, senders)
+                    payload = np.asarray(
+                        program.arc_payload(graph, values, mask)
+                    )
+                    gathered_out[:] = program.combine_identity
+                    if dst.size:
+                        program.combine.at(gathered_out, dst, payload)
+                    conn.send(("ok", int(dst.size), hist_fresh))
+                else:
+                    conn.send(("error", f"unknown command {cmd!r}"))
+            except Exception:
+                conn.send(("error", traceback.format_exc()))
+    except (EOFError, OSError, KeyboardInterrupt):  # parent went away
+        pass
+    finally:
+        for shm in run_shms + handles:
+            try:
+                shm.close()
+            except Exception:
+                pass
+
+
+# ---------------------------------------------------------------------------
+# Parent-side engine
+# ---------------------------------------------------------------------------
+
+
+class ShardedBSPEngine(DenseBSPEngine):
+    """Multi-process sibling of :class:`DenseBSPEngine`.
+
+    Same constructor contract, same ``run`` signature, same
+    :class:`~repro.bsp.engine.BSPResult`, interchangeable checkpoints —
+    but each superstep's scatter/gather executes as per-shard dense
+    kernels on a persistent worker pool.  Close the engine (or use it as
+    a context manager) to release the workers and shared memory.
+
+    Parameters
+    ----------
+    graph:
+        The input graph, frozen into shared memory at construction.
+    num_workers:
+        Worker process count (default: the host's CPU count).
+    partition:
+        ``"hash"`` (Pregel's default placement), ``"balanced-edge"``
+        (degree-aware greedy placement), or an explicit per-vertex
+        machine assignment array with ids in ``[0, num_workers)``.
+    start_method:
+        Multiprocessing start method; default ``fork`` where available
+        (cheapest pool spawn), else ``spawn``.  Override with the
+        ``REPRO_SHARDED_START_METHOD`` environment variable.
+    combine_messages, aggregators, costs:
+        As for :class:`DenseBSPEngine`.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        *,
+        num_workers: int | None = None,
+        partition: str | np.ndarray = "hash",
+        start_method: str | None = None,
+        combine_messages: bool = False,
+        aggregators: dict | None = None,
+        costs: KernelCosts = DEFAULT_COSTS,
+    ) -> None:
+        super().__init__(
+            graph,
+            combine_messages=combine_messages,
+            aggregators=aggregators,
+            costs=costs,
+        )
+        if num_workers is None:
+            num_workers = os.cpu_count() or 1
+        num_workers = int(num_workers)
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = num_workers
+
+        if isinstance(partition, str):
+            if partition == "hash":
+                assignment = hash_partition(graph, num_workers)
+            elif partition == "balanced-edge":
+                assignment = balanced_edge_partition(graph, num_workers)
+            else:
+                raise ValueError(
+                    f"partition must be one of {PARTITION_POLICIES} "
+                    "or an assignment array"
+                )
+            self.partition_policy = partition
+        else:
+            assignment = np.asarray(partition, dtype=np.int64)
+            if assignment.shape != (graph.num_vertices,):
+                raise ValueError(
+                    "assignment must have one entry per vertex"
+                )
+            if assignment.size and (
+                assignment.min() < 0 or assignment.max() >= num_workers
+            ):
+                raise ValueError(
+                    f"machine ids must lie in [0, {num_workers})"
+                )
+            self.partition_policy = "custom"
+        self.assignment = assignment
+        self.shards = shard_indices(assignment, num_workers)
+
+        method = (
+            start_method
+            or os.environ.get("REPRO_SHARDED_START_METHOD")
+            or ("fork" if "fork" in get_all_start_methods() else "spawn")
+        )
+        ctx = get_context(method)
+
+        n = graph.num_vertices
+        self._closed = False
+        self._static_shms: list[shared_memory.SharedMemory] = []
+        self._values_shm: shared_memory.SharedMemory | None = None
+        self._gathered_shm: shared_memory.SharedMemory | None = None
+        self._gathered: np.ndarray | None = None
+        self._hist: np.ndarray | None = None
+        self._shard_senders: list[np.ndarray] | None = None
+        self._participants: tuple[int, ...] = ()
+        self._generation = 0
+        self._conns = []
+        self._procs = []
+
+        try:
+            spec = {
+                "num_vertices": n,
+                "num_arcs": graph.num_arcs,
+                "directed": graph.directed,
+                "sorted_adjacency": graph.sorted_adjacency,
+                "row_ptr": self._share(graph.row_ptr),
+                "col_idx": self._share(graph.col_idx),
+                "weights": (
+                    self._share(graph.weights)
+                    if graph.weights is not None
+                    else None
+                ),
+                "arc_sources": self._share(graph.arc_sources()),
+            }
+            hist_shm = _new_block(num_workers * n * 8)
+            self._static_shms.append(hist_shm)
+            spec["hist"] = hist_shm.name
+            self._hist = np.ndarray(
+                (num_workers, n), dtype=np.int64, buffer=hist_shm.buf
+            )
+            for w in range(num_workers):
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(child_conn, dict(spec, worker_index=w)),
+                    name=f"bsp-shard-{w}",
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._conns.append(parent_conn)
+                self._procs.append(proc)
+        except Exception:
+            self.close()
+            raise
+
+    # -- shared-memory helpers ------------------------------------------
+    def _share(self, array: np.ndarray) -> str:
+        """Copy ``array`` into a new shared block; return its name."""
+        shm = _new_block(array.nbytes)
+        self._static_shms.append(shm)
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+        view[...] = array
+        return shm.name
+
+    def _release_run_blocks(self) -> None:
+        # Drop this engine's views first so close() can release the
+        # mapping (external views merely defer the memory reclaim).
+        self.values = np.empty(0)
+        self._gathered = None
+        _release_block(self._values_shm)
+        _release_block(self._gathered_shm)
+        self._values_shm = None
+        self._gathered_shm = None
+
+    # -- pool plumbing ---------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("engine is closed")
+
+    def _exchange(self, tasks: dict[int, tuple]) -> dict[int, tuple]:
+        """Send one task per worker, collect one reply per worker."""
+        for w, payload in tasks.items():
+            self._conns[w].send(payload)
+        replies: dict[int, tuple] = {}
+        errors: list[tuple[int, str]] = []
+        for w in tasks:
+            try:
+                reply = self._conns[w].recv()
+            except (EOFError, OSError):
+                errors.append((w, "worker process died"))
+                continue
+            if reply[0] == "error":
+                errors.append((w, reply[1]))
+            else:
+                replies[w] = reply
+        if errors:
+            detail = "\n".join(
+                f"[shard worker {w}] {text}" for w, text in errors
+            )
+            raise ShardedWorkerError(
+                f"{len(errors)} shard worker(s) failed:\n{detail}"
+            )
+        return replies
+
+    def _split(self, vertices: np.ndarray) -> list[np.ndarray]:
+        """Partition a sorted vertex set along the machine assignment."""
+        owners = self.assignment[vertices]
+        return [
+            vertices[owners == w] for w in range(self.num_workers)
+        ]
+
+    def _merged_hist(self, participants: tuple[int, ...]) -> np.ndarray:
+        """Sum the participating workers' per-destination histograms."""
+        if not participants:
+            return np.zeros(self.graph.num_vertices, dtype=np.int64)
+        return self._hist[list(participants)].sum(axis=0)
+
+    # -- engine hooks ----------------------------------------------------
+    def _begin_run(
+        self, program: DenseVertexProgram, values: np.ndarray
+    ) -> None:
+        self._check_open()
+        n = self.graph.num_vertices
+        self._release_run_blocks()
+        self._values_shm = _new_block(values.nbytes)
+        shared_values = np.ndarray(
+            values.shape, dtype=values.dtype, buffer=self._values_shm.buf
+        )
+        shared_values[...] = values
+        # compute() mutates ctx.values in place, so parent-side updates
+        # land directly in the block the workers read payloads from.
+        self.values = shared_values
+        mdtype = np.dtype(program.message_dtype)
+        self._gathered_shm = _new_block(self.num_workers * n * mdtype.itemsize)
+        self._gathered = np.ndarray(
+            (self.num_workers, n), dtype=mdtype, buffer=self._gathered_shm.buf
+        )
+        self._exchange(
+            {
+                w: (
+                    "run",
+                    program,
+                    self._values_shm.name,
+                    values.dtype.str,
+                    self._gathered_shm.name,
+                )
+                for w in range(self.num_workers)
+            }
+        )
+
+    def _scatter_reset(self) -> None:
+        super()._scatter_reset()
+        self._shard_senders = None
+        self._participants = ()
+
+    def _scatter(
+        self, program: DenseVertexProgram, new_senders: np.ndarray
+    ) -> tuple[int, np.ndarray | None]:
+        sent_raw = (
+            int(self.graph.degrees()[new_senders].sum())
+            if new_senders.size
+            else 0
+        )
+        self._generation += 1
+        if not sent_raw:
+            self._shard_senders = None
+            self._participants = ()
+            return 0, None
+        self._shard_senders = self._split(new_senders)
+        self._participants = tuple(
+            w for w, s in enumerate(self._shard_senders) if s.size
+        )
+        self._exchange(
+            {
+                w: ("scatter", self._generation, self._shard_senders[w])
+                for w in self._participants
+            }
+        )
+        return sent_raw, self._merged_hist(self._participants)
+
+    def _gather(
+        self,
+        program: DenseVertexProgram,
+        senders: np.ndarray,
+        identity: Any,
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        n = self.graph.num_vertices
+        mdtype = np.dtype(program.message_dtype)
+        if not senders.size:
+            return (
+                np.full(n, identity, dtype=mdtype),
+                np.empty(0, dtype=np.int64),
+                0,
+            )
+        if self._shard_senders is None:  # resumed run: no prior scatter
+            self._shard_senders = self._split(senders)
+            self._participants = tuple(
+                w for w, s in enumerate(self._shard_senders) if s.size
+            )
+        participants = self._participants
+        replies = self._exchange(
+            {
+                w: ("gather", self._generation, self._shard_senders[w])
+                for w in participants
+            }
+        )
+        raw = sum(reply[1] for reply in replies.values())
+        gathered = np.full(n, identity, dtype=mdtype)
+        # Merge the per-worker partial folds in shard order.  Exact for
+        # every idempotent/integer combine; float np.add may differ from
+        # the single-pass fold in the last ulp across shard boundaries.
+        for w in participants:
+            program.combine(gathered, self._gathered[w], out=gathered)
+        if self._pending_hist is None:
+            self._pending_hist = self._merged_hist(participants)
+        receivers = (
+            np.flatnonzero(self._pending_hist)
+            if raw
+            else np.empty(0, dtype=np.int64)
+        )
+        return gathered, receivers, int(raw)
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self) -> None:
+        """Shut the worker pool down and release all shared memory."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("close",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+                proc.join(timeout=10)
+        for conn in self._conns:
+            conn.close()
+        # Detach the engine's state from shared memory before unlinking
+        # so `engine.values` stays readable after close().
+        if isinstance(self.values, np.ndarray):
+            self.values = self.values.copy()
+        self._hist = None
+        self._gathered = None
+        for shm in (
+            self._static_shms
+            + [self._values_shm, self._gathered_shm]
+        ):
+            _release_block(shm)
+        self._static_shms = []
+        self._values_shm = None
+        self._gathered_shm = None
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __enter__(self) -> "ShardedBSPEngine":
+        return self

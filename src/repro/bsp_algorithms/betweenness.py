@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.bsp.instrumentation import record_superstep
-from repro.bsp_algorithms._scatter import arcs_from
+from repro.bsp_algorithms._scatter import arcs_from, enqueue_histogram
 from repro.graph.csr import CSRGraph
 from repro.runtime.loops import Tracer
 from repro.xmt.calibration import DEFAULT_COSTS, KernelCosts
@@ -123,7 +123,7 @@ def _accumulate(
         if sent:
             arc_mask = arcs_from(frontier, row_ptr)
             dst = col_idx[arc_mask]
-            np.add.at(enq, dst, 1)
+            enq = enqueue_histogram(dst, n)
             sigma_in = np.zeros(n, dtype=np.float64)
             np.add.at(sigma_in, dst, sigma[src[arc_mask]])
             fresh = np.unique(dst[dist[dst] < 0])
@@ -160,7 +160,7 @@ def _accumulate(
                 * (1.0 + delta[senders[pred]])
             )
             np.add.at(delta, dst[pred], contrib)
-            np.add.at(enq, dst[pred], 1)
+            enq += enqueue_histogram(dst[pred], n)
         record_superstep(
             tracer, superstep=superstep, active=int(frontier.size),
             received=sent, sent=sent,

@@ -25,7 +25,8 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.bsp.dense import DenseBSPEngine, DenseSuperstepContext, DenseVertexProgram
+from repro.bsp import make_engine
+from repro.bsp.dense import DenseSuperstepContext, DenseVertexProgram
 from repro.bsp.vertex import VertexContext, VertexProgram
 from repro.graph.csr import CSRGraph
 from repro.xmt.calibration import DEFAULT_COSTS, KernelCosts
@@ -146,16 +147,27 @@ def bsp_breadth_first_search(
     *,
     costs: KernelCosts = DEFAULT_COSTS,
     max_supersteps: int = 10_000,
+    num_workers: int | None = None,
+    partition: str = "hash",
 ) -> BSPBFSResult:
-    """Dense-engine execution of Algorithm 2."""
+    """Dense-engine execution of Algorithm 2.
+
+    ``num_workers`` > 1 shards the scatter/gather over that many worker
+    processes under the given ``partition`` placement.
+    """
     n = graph.num_vertices
     if not 0 <= source < n:
         raise IndexError(f"source {source} out of range [0, {n})")
     program = DenseBreadthFirstSearch(source)
-    engine = DenseBSPEngine(graph, costs=costs)
-    result = engine.run(
-        program, max_supersteps=max_supersteps, trace_label="bsp/bfs"
+    engine = make_engine(
+        graph, num_workers=num_workers, partition=partition, costs=costs
     )
+    try:
+        result = engine.run(
+            program, max_supersteps=max_supersteps, trace_label="bsp/bfs"
+        )
+    finally:
+        engine.close()
     dist = result.values
     return BSPBFSResult(
         source=source,

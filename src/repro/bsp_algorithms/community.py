@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.bsp.instrumentation import record_superstep
 from repro.bsp.vertex import VertexContext, VertexProgram
+from repro.bsp_algorithms._scatter import enqueue_histogram
 from repro.graph.csr import CSRGraph
 from repro.graphct.community import _tie_jitter, modularity
 from repro.runtime.loops import Tracer
@@ -171,7 +172,7 @@ def bsp_label_propagation_communities(
         sent = int(deg[changed].sum()) if superstep < max_supersteps else 0
         enq = np.zeros(n, dtype=np.int64)
         if sent:
-            np.add.at(enq, dst[senders_mask[src]], 1)
+            enq = enqueue_histogram(dst[senders_mask[src]], n)
         record_superstep(
             tracer, superstep=superstep,
             active=int(np.unique(live_dst).size) if received else 0,

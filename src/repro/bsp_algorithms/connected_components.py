@@ -24,7 +24,8 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.bsp.dense import DenseBSPEngine, DenseSuperstepContext, DenseVertexProgram
+from repro.bsp import make_engine
+from repro.bsp.dense import DenseSuperstepContext, DenseVertexProgram
 from repro.bsp.vertex import VertexContext, VertexProgram
 from repro.graph.csr import CSRGraph
 from repro.xmt.calibration import DEFAULT_COSTS, KernelCosts
@@ -113,6 +114,8 @@ def bsp_connected_components(
     costs: KernelCosts = DEFAULT_COSTS,
     max_supersteps: int = 10_000,
     combine_messages: bool = False,
+    num_workers: int | None = None,
+    partition: str = "hash",
 ) -> BSPComponentsResult:
     """Dense-engine execution of Algorithm 1.
 
@@ -126,19 +129,30 @@ def bsp_connected_components(
     count.  The paper's runtime does *not* combine — this switch exists
     for the combiner ablation benchmark.  Labels and superstep counts are
     unaffected; only ``messages_per_superstep`` and the work trace change.
+
+    ``num_workers`` > 1 shards the scatter/gather over that many worker
+    processes under the given ``partition`` placement (results are
+    unaffected — min-combine folds are exact at any partition).
     """
     if graph.directed:
         raise ValueError(
             "BSP connected components requires an undirected graph"
         )
-    engine = DenseBSPEngine(
-        graph, combine_messages=combine_messages, costs=costs
+    engine = make_engine(
+        graph,
+        num_workers=num_workers,
+        partition=partition,
+        combine_messages=combine_messages,
+        costs=costs,
     )
-    result = engine.run(
-        DenseConnectedComponents(),
-        max_supersteps=max_supersteps,
-        trace_label="bsp/cc",
-    )
+    try:
+        result = engine.run(
+            DenseConnectedComponents(),
+            max_supersteps=max_supersteps,
+            trace_label="bsp/cc",
+        )
+    finally:
+        engine.close()
     labels = result.values
     return BSPComponentsResult(
         labels=labels,

@@ -22,7 +22,8 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.bsp.dense import DenseBSPEngine, DenseSuperstepContext, DenseVertexProgram
+from repro.bsp import make_engine
+from repro.bsp.dense import DenseSuperstepContext, DenseVertexProgram
 from repro.bsp.vertex import VertexContext, VertexProgram
 from repro.graph.csr import CSRGraph
 from repro.xmt.calibration import DEFAULT_COSTS, KernelCosts
@@ -124,17 +125,29 @@ def bsp_k_core(
     *,
     costs: KernelCosts = DEFAULT_COSTS,
     max_supersteps: int = 100_000,
+    num_workers: int | None = None,
+    partition: str = "hash",
 ) -> BSPKCoreResult:
-    """Dense-engine BSP k-core membership (semantics of :class:`BSPKCore`)."""
+    """Dense-engine BSP k-core membership (semantics of :class:`BSPKCore`).
+
+    ``num_workers`` > 1 shards the scatter/gather over that many worker
+    processes under the given ``partition`` placement (membership is
+    unaffected — integer sum folds are exact at any partition).
+    """
     if graph.directed:
         raise ValueError("k-core requires an undirected graph")
     if k < 0:
         raise ValueError("k must be non-negative")
     program = DenseKCore(k)
-    engine = DenseBSPEngine(graph, costs=costs)
-    result = engine.run(
-        program, max_supersteps=max_supersteps, trace_label="bsp/kcore"
+    engine = make_engine(
+        graph, num_workers=num_workers, partition=partition, costs=costs
     )
+    try:
+        result = engine.run(
+            program, max_supersteps=max_supersteps, trace_label="bsp/kcore"
+        )
+    finally:
+        engine.close()
     return BSPKCoreResult(
         k=k,
         in_core=result.values >= 0,

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.bsp.instrumentation import record_superstep
 from repro.bsp.vertex import VertexContext, VertexProgram
-from repro.bsp_algorithms._scatter import arcs_from
+from repro.bsp_algorithms._scatter import arcs_from, enqueue_histogram
 from repro.graph.csr import CSRGraph
 from repro.runtime.loops import Tracer
 from repro.xmt.calibration import DEFAULT_COSTS, KernelCosts
@@ -149,7 +149,7 @@ def bsp_maximal_independent_set(
         sent = int(np.count_nonzero(arc_live))
         enq = np.zeros(n, dtype=np.int64)
         if sent:
-            np.add.at(enq, col_idx[arc_live], 1)
+            enq = enqueue_histogram(col_idx[arc_live], n)
         record_superstep(
             tracer, superstep=superstep, active=int(undecided.size),
             received=0 if superstep == 0 else sent, sent=sent,
@@ -187,7 +187,7 @@ def bsp_maximal_independent_set(
         if sent2:
             out_mask = arcs_from(joiners, row_ptr)
             dst2 = col_idx[out_mask]
-            np.add.at(enq2, dst2, 1)
+            enq2 = enqueue_histogram(dst2, n)
             dropped = np.unique(dst2)
             state[dropped[state[dropped] == _UNDECIDED]] = _OUT
         record_superstep(

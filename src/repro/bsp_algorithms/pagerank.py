@@ -19,7 +19,8 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.bsp.dense import DenseBSPEngine, DenseSuperstepContext, DenseVertexProgram
+from repro.bsp import make_engine
+from repro.bsp.dense import DenseSuperstepContext, DenseVertexProgram
 from repro.bsp.vertex import VertexContext, VertexProgram
 from repro.graph.csr import CSRGraph
 from repro.xmt.calibration import DEFAULT_COSTS, KernelCosts
@@ -147,15 +148,28 @@ def bsp_pagerank(
     num_supersteps: int = 30,
     damping: float = 0.85,
     costs: KernelCosts = DEFAULT_COSTS,
+    num_workers: int | None = None,
+    partition: str = "hash",
 ) -> BSPPageRankResult:
-    """Dense-engine fixed-superstep BSP PageRank (with dangling handling)."""
+    """Dense-engine fixed-superstep BSP PageRank (with dangling handling).
+
+    ``num_workers`` > 1 shards the scatter/gather over that many worker
+    processes under the given ``partition`` placement.  Sharded float
+    summation may differ from single-process ranks in the last ulp
+    (the per-shard partial sums merge in shard order).
+    """
     program = DensePageRank(num_supersteps=num_supersteps, damping=damping)
-    engine = DenseBSPEngine(graph, costs=costs)
-    result = engine.run(
-        program,
-        max_supersteps=num_supersteps + 1,
-        trace_label="bsp/pagerank",
+    engine = make_engine(
+        graph, num_workers=num_workers, partition=partition, costs=costs
     )
+    try:
+        result = engine.run(
+            program,
+            max_supersteps=num_supersteps + 1,
+            trace_label="bsp/pagerank",
+        )
+    finally:
+        engine.close()
     return BSPPageRankResult(
         ranks=result.values,
         num_supersteps=result.num_supersteps,

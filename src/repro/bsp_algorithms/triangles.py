@@ -28,7 +28,11 @@ from repro.bsp.instrumentation import record_superstep
 from repro.bsp.vertex import VertexContext, VertexProgram
 from repro.graph.csr import CSRGraph
 from repro.graph.dag import ascending_orientation
-from repro.graph.properties import _ragged_arange
+from repro.graph.wedges import (
+    WEDGE_BATCH,
+    build_wedge_index,
+    iter_closed_wedges,
+)
 from repro.runtime.loops import Tracer
 from repro.xmt.calibration import DEFAULT_COSTS, KernelCosts
 from repro.xmt.trace import WorkTrace
@@ -38,9 +42,6 @@ __all__ = [
     "BSPTriangleResult",
     "bsp_count_triangles",
 ]
-
-#: Wedge messages processed per vectorized batch (bounds peak memory).
-WEDGE_BATCH = 4_000_000
 
 
 class BSPTriangleCounting(VertexProgram):
@@ -107,9 +108,12 @@ def bsp_count_triangles(
     n = graph.num_vertices
     tracer = Tracer(label="bsp/triangles")
     dag = ascending_orientation(graph)
-    dag_src = dag.arc_sources()
-    dag_dst = dag.col_idx
-    arc_keys = dag_src * n + dag_dst
+    # Wedge enumeration + closure check shared with the GraphCT kernel
+    # ("both algorithms perform the same number of reads to the graph").
+    index = build_wedge_index(dag)
+    dag_dst = index.dag_dst
+    in_degree = index.in_degree
+    wedges_per_arc = index.wedges_per_arc
 
     message_hist: list[int] = []
     active_hist: list[int] = []
@@ -117,12 +121,9 @@ def bsp_count_triangles(
     deg = graph.degrees()
 
     # --- superstep 0: v -> n for v < n: one message per undirected edge.
-    # Every vertex scans its full neighbour list to apply the v < n test
-    # ("both algorithms perform the same number of reads to the graph").
+    # Every vertex scans its full neighbour list to apply the v < n test.
     s0_sent = int(dag_dst.size)
-    enq0 = np.zeros(n, dtype=np.int64)
-    if s0_sent:
-        np.add.at(enq0, dag_dst, 1)
+    enq0 = in_degree
     record_superstep(
         tracer, superstep=0, active=n, received=0, sent=s0_sent,
         enqueues_per_destination=enq0 if s0_sent else None, costs=costs,
@@ -136,15 +137,14 @@ def bsp_count_triangles(
     # Receivers of superstep-0 messages are the DAG arc destinations;
     # vertex v receives in_degree(v) messages and forwards each to its
     # out_degree(v) higher neighbours: wedge count = sum in*out.
-    in_degree = np.zeros(n, dtype=np.int64)
-    if dag_dst.size:
-        np.add.at(in_degree, dag_dst, 1)
-    out_degree = dag.degrees()
-    wedges_per_arc = in_degree[dag_src]          # per out-arc of centre v
-    s1_sent = int(wedges_per_arc.sum())
-    enq1 = np.zeros(n, dtype=np.int64)
-    if s1_sent:
-        np.add.at(enq1, dag_dst, wedges_per_arc)
+    s1_sent = index.total_wedges
+    enq1 = (
+        np.bincount(dag_dst, weights=wedges_per_arc, minlength=n).astype(
+            np.int64
+        )
+        if s1_sent
+        else np.zeros(n, dtype=np.int64)
+    )
     s0_receivers = int(np.count_nonzero(in_degree))
     # Each received message m is tested against every neighbour of v
     # (the m < v < n filter scans the whole list).
@@ -160,38 +160,17 @@ def bsp_count_triangles(
     active_hist.append(s0_receivers)
 
     # --- superstep 2: closure check m ∈ Neighbors(v); hits notify m.
-    # Enumerate the wedge messages in batches (identical to the GraphCT
-    # kernel's wedge set — "both algorithms perform the same number of
-    # reads to the graph").
-    rev_order = np.argsort(dag_dst, kind="stable")
-    rev_src = dag_src[rev_order]
-    rev_ptr = np.zeros(n + 1, dtype=np.int64)
-    np.cumsum(in_degree, out=rev_ptr[1:])
-
+    # Each wedge is one message (payload u = m, destination w); a hit
+    # notifies the minimum corner m.
     per_vertex = np.zeros(n, dtype=np.int64)
     total_triangles = 0
-    arc_starts = np.concatenate([[0], np.cumsum(wedges_per_arc)])
-    arc_lo = 0
-    while arc_lo < dag_dst.size:
-        arc_hi = int(
-            np.searchsorted(arc_starts, arc_starts[arc_lo] + WEDGE_BATCH, "right")
-        ) - 1
-        arc_hi = max(arc_hi, arc_lo + 1)
-        sel = slice(arc_lo, arc_hi)
-        counts = wedges_per_arc[sel]
-        if counts.sum():
-            w = np.repeat(dag_dst[sel], counts)       # message destination
-            u_pos = np.repeat(rev_ptr[dag_src[sel]], counts) + _ragged_arange(
-                counts
-            )
-            u = rev_src[u_pos]                        # message payload m
-            keys = u * n + w
-            pos = np.minimum(np.searchsorted(arc_keys, keys), arc_keys.size - 1)
-            hit = arc_keys[pos] == keys
-            total_triangles += int(np.count_nonzero(hit))
-            if hit.any():
-                np.add.at(per_vertex, u[hit], 1)
-        arc_lo = arc_hi
+    for u, _centre, _w, hit in iter_closed_wedges(
+        index, batch_size=WEDGE_BATCH
+    ):
+        closed = int(np.count_nonzero(hit))
+        total_triangles += closed
+        if closed:
+            per_vertex += np.bincount(u[hit], minlength=n)
 
     s1_receivers = int(np.count_nonzero(enq1))
     s2_sent = total_triangles                     # found-notifications

@@ -29,6 +29,7 @@ __all__ = [
     "balanced_edge_partition",
     "hash_partition",
     "partition_stats",
+    "shard_indices",
 ]
 
 
@@ -92,6 +93,39 @@ def balanced_edge_partition(
         assignment[v] = machine
         loads[machine] += degrees[v]
     return assignment
+
+
+def shard_indices(
+    assignment: np.ndarray, num_shards: int | None = None
+) -> list[np.ndarray]:
+    """Per-shard sorted vertex-id arrays for a machine assignment.
+
+    The inverse view of an assignment vector: ``shard_indices(a, k)[m]``
+    holds the vertices placed on machine ``m``, ascending.  This is the
+    index form the sharded BSP engine consumes — each worker's slice of
+    a superstep's sender set is ``senders ∩ shard_indices(...)[m]``.
+    """
+    assignment = np.asarray(assignment, dtype=np.int64)
+    if assignment.ndim != 1:
+        raise ValueError("assignment must be one-dimensional")
+    if assignment.size and assignment.min() < 0:
+        raise ValueError("machine ids must be non-negative")
+    observed = int(assignment.max()) + 1 if assignment.size else 0
+    if num_shards is None:
+        num_shards = max(observed, 1)
+    elif num_shards < observed:
+        raise ValueError(
+            f"assignment references machine {observed - 1} but only "
+            f"{num_shards} shard(s) were requested"
+        )
+    # Stable argsort groups ids by shard while keeping them ascending
+    # within each group.
+    order = np.argsort(assignment, kind="stable").astype(np.int64)
+    counts = np.bincount(assignment, minlength=num_shards)
+    return [
+        np.ascontiguousarray(part)
+        for part in np.split(order, np.cumsum(counts)[:-1])
+    ]
 
 
 def partition_stats(graph: CSRGraph, assignment: np.ndarray) -> PartitionStats:

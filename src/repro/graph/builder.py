@@ -99,7 +99,7 @@ def from_edge_array(
 
     row_ptr = np.zeros(num_vertices + 1, dtype=OFFSET_DTYPE)
     if src.size:
-        np.add.at(row_ptr, src + 1, 1)
+        row_ptr[1:] = np.bincount(src, minlength=num_vertices)
     np.cumsum(row_ptr, out=row_ptr)
 
     return CSRGraph(

@@ -214,26 +214,22 @@ class CSRGraph:
         """Transpose a directed graph (identity for undirected graphs)."""
         if not self.directed:
             return self
-        order = np.argsort(self.col_idx, kind="stable")
         sources = self.arc_sources()
+        # One lexsort produces the transposed arcs already grouped by
+        # new source (old dst) *and* sorted within each adjacency run —
+        # no per-vertex re-sort pass.  Stability keeps parallel arcs'
+        # weights paired in their original relative order.
+        order = np.lexsort((sources, self.col_idx))
         new_ptr = np.zeros(self.num_vertices + 1, dtype=OFFSET_DTYPE)
-        np.add.at(new_ptr, self.col_idx + 1, 1)
+        if self.col_idx.size:
+            new_ptr[1:] = np.bincount(
+                self.col_idx, minlength=self.num_vertices
+            )
         np.cumsum(new_ptr, out=new_ptr)
-        new_col = sources[order]
-        new_w = self.weights[order] if self.weights is not None else None
-        # Re-sort each adjacency run so sorted_adjacency holds.
-        out_col = np.empty_like(new_col)
-        out_w = np.empty_like(new_w) if new_w is not None else None
-        for v in range(self.num_vertices):
-            lo, hi = new_ptr[v], new_ptr[v + 1]
-            seg = np.argsort(new_col[lo:hi], kind="stable")
-            out_col[lo:hi] = new_col[lo:hi][seg]
-            if out_w is not None:
-                out_w[lo:hi] = new_w[lo:hi][seg]
         return CSRGraph(
             row_ptr=new_ptr,
-            col_idx=out_col,
-            weights=out_w,
+            col_idx=sources[order],
+            weights=self.weights[order] if self.weights is not None else None,
             directed=True,
             sorted_adjacency=True,
         )

@@ -50,7 +50,7 @@ def _filtered_dag(graph: CSRGraph, keep: np.ndarray) -> CSRGraph:
     dst = graph.col_idx[keep]
     row_ptr = np.zeros(graph.num_vertices + 1, dtype=OFFSET_DTYPE)
     if src.size:
-        np.add.at(row_ptr, src + 1, 1)
+        row_ptr[1:] = np.bincount(src, minlength=graph.num_vertices)
     np.cumsum(row_ptr, out=row_ptr)
     # Arcs were already grouped by src and sorted by dst in the input CSR,
     # and boolean filtering preserves order, so adjacency stays sorted.

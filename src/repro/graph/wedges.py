@@ -1,0 +1,130 @@
+"""Batched ordered-wedge enumeration over an oriented DAG.
+
+Both triangle counters — the shared-memory GraphCT kernel
+(:mod:`repro.graphct.triangles`) and the BSP Algorithm 3 rendition
+(:mod:`repro.bsp_algorithms.triangles`) — walk the same wedge set: for
+every DAG arc ``centre → w``, one wedge per in-neighbour ``u`` of the
+centre, closed iff the arc ``u → w`` exists.  The enumeration and the
+binary-search closure test live here so the two counters cannot drift;
+they differ only in how wedges are *charged* (implicit loop reads vs.
+materialized possible-triangle messages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.properties import _ragged_arange
+
+__all__ = ["WEDGE_BATCH", "WedgeIndex", "build_wedge_index", "iter_closed_wedges"]
+
+#: Wedges processed per vectorized batch (bounds peak memory).
+WEDGE_BATCH = 4_000_000
+
+
+@dataclass(frozen=True)
+class WedgeIndex:
+    """Precomputed wedge structure of an oriented DAG.
+
+    Wedges centred at ``v``: (in-neighbour ``u``) x (out-neighbour ``w``)
+    in the orientation, enumerated per *out-arc* so each wedge appears
+    exactly once.
+    """
+
+    num_vertices: int
+    #: DAG arcs as parallel (source, destination) vectors, CSR order.
+    dag_src: np.ndarray
+    dag_dst: np.ndarray
+    #: ``src * n + dst`` — sorted, for O(log m) closure tests.
+    arc_keys: np.ndarray
+    #: DAG in-degree per vertex (= messages received in BSP superstep 1).
+    in_degree: np.ndarray
+    #: Wedges enumerated at each out-arc: ``in_degree[dag_src]``.
+    wedges_per_arc: np.ndarray
+    #: In-adjacency of the DAG: sources of reversed arcs grouped by
+    #: destination, with ``rev_ptr`` the per-vertex group offsets.
+    rev_src: np.ndarray
+    rev_ptr: np.ndarray
+
+    @property
+    def total_wedges(self) -> int:
+        """Ordered wedges = the BSP algorithm's "possible triangles"."""
+        return int(self.wedges_per_arc.sum())
+
+
+def build_wedge_index(dag: CSRGraph) -> WedgeIndex:
+    """Index an oriented DAG (from :mod:`repro.graph.dag`) for wedges."""
+    n = dag.num_vertices
+    dag_src = dag.arc_sources()
+    dag_dst = dag.col_idx
+    # (src, dst) is lexicographically sorted in CSR order, so the fused
+    # keys are sorted too.
+    arc_keys = dag_src * n + dag_dst
+    in_degree = (
+        np.bincount(dag_dst, minlength=n).astype(np.int64, copy=False)
+        if dag_dst.size
+        else np.zeros(n, dtype=np.int64)
+    )
+    rev_order = np.argsort(dag_dst, kind="stable")
+    rev_src = dag_src[rev_order]
+    rev_ptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(in_degree, out=rev_ptr[1:])
+    return WedgeIndex(
+        num_vertices=n,
+        dag_src=dag_src,
+        dag_dst=dag_dst,
+        arc_keys=arc_keys,
+        in_degree=in_degree,
+        wedges_per_arc=in_degree[dag_src],
+        rev_src=rev_src,
+        rev_ptr=rev_ptr,
+    )
+
+
+def iter_closed_wedges(
+    index: WedgeIndex, *, batch_size: int = WEDGE_BATCH
+) -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+    """Enumerate wedges in batches with their closure verdicts.
+
+    Yields ``(u, centre, w, hit)`` per batch: the wedge corners
+    ``u < centre < w`` (in the DAG's total order) and a boolean mask —
+    ``hit[i]`` iff the arc ``u[i] → w[i]`` exists, i.e. the wedge closes
+    into a triangle.  Batches cover the out-arcs in CSR order and are
+    sized to roughly ``batch_size`` wedges (always at least one arc, so
+    a single pathological hub cannot stall progress).
+    """
+    dag_src = index.dag_src
+    dag_dst = index.dag_dst
+    arc_keys = index.arc_keys
+    rev_src = index.rev_src
+    rev_ptr = index.rev_ptr
+    wedges_per_arc = index.wedges_per_arc
+    n = index.num_vertices
+
+    arc_starts = np.concatenate([[0], np.cumsum(wedges_per_arc)])
+    arc_lo = 0
+    while arc_lo < dag_dst.size:
+        arc_hi = int(
+            np.searchsorted(arc_starts, arc_starts[arc_lo] + batch_size, "right")
+        ) - 1
+        arc_hi = max(arc_hi, arc_lo + 1)
+        sel = slice(arc_lo, arc_hi)
+        counts = wedges_per_arc[sel]
+        if counts.sum():
+            centre = np.repeat(dag_src[sel], counts)
+            w = np.repeat(dag_dst[sel], counts)
+            u_pos = np.repeat(rev_ptr[dag_src[sel]], counts) + _ragged_arange(
+                counts
+            )
+            u = rev_src[u_pos]
+            keys = u * n + w
+            # counts.sum() > 0 implies the DAG has arcs, so arc_keys is
+            # non-empty here and clamping the insertion point is safe.
+            pos = np.minimum(np.searchsorted(arc_keys, keys), arc_keys.size - 1)
+            hit = arc_keys[pos] == keys
+            yield u, centre, w, hit
+        arc_lo = arc_hi

@@ -71,7 +71,9 @@ def k_core_decomposition(
                     offsets = np.repeat(starts, counts) + _ragged_arange(counts)
                     nbrs = graph.col_idx[offsets]
                     live_nbrs = nbrs[alive[nbrs]]
-                    np.add.at(remaining_degree, live_nbrs, -1)
+                    remaining_degree -= np.bincount(
+                        live_nbrs, minlength=remaining_degree.size
+                    )
                 r.count(
                     instructions=(
                         arcs * costs.edge_visit_instructions

@@ -25,7 +25,11 @@ import numpy as np
 
 from repro.graph.csr import CSRGraph
 from repro.graph.dag import ascending_orientation, degree_orientation
-from repro.graph.properties import _ragged_arange
+from repro.graph.wedges import (
+    WEDGE_BATCH,
+    build_wedge_index,
+    iter_closed_wedges,
+)
 from repro.runtime.loops import Tracer
 from repro.xmt.calibration import DEFAULT_COSTS, KernelCosts
 from repro.xmt.trace import WorkTrace
@@ -36,9 +40,6 @@ __all__ = [
     "count_triangles",
     "clustering_coefficients",
 ]
-
-#: Wedges processed per vectorized batch (bounds peak memory).
-WEDGE_BATCH = 4_000_000
 
 
 @dataclass
@@ -91,57 +92,18 @@ def count_triangles(
     tracer = Tracer(label="graphct/triangles")
     per_vertex = np.zeros(n, dtype=np.int64)
 
-    dag_src = dag.arc_sources()
-    dag_dst = dag.col_idx
-    # Sorted arc keys for O(log m) closure tests.  (src, dst) is already
-    # lexicographically sorted in CSR order.
-    arc_keys = dag_src * n + dag_dst
-
-    # Wedges centred at v: (in-neighbour u) x (out-neighbour w) in the
-    # orientation; enumerate per *out-arc* so each wedge appears once.
-    in_degree = np.zeros(n, dtype=np.int64)
-    if dag_dst.size:
-        np.add.at(in_degree, dag_dst, 1)
-    # in-adjacency of the DAG = reversed arcs, grouped by dst.
-    rev_order = np.argsort(dag_dst, kind="stable")
-    rev_src = dag_src[rev_order]  # in-neighbours, grouped by centre vertex
-    rev_ptr = np.zeros(n + 1, dtype=np.int64)
-    np.cumsum(in_degree, out=rev_ptr[1:])
-
-    wedges_per_arc = in_degree[dag_src]
-    total_wedges = int(wedges_per_arc.sum())
+    # Batched wedge enumeration + closure check (shared with the BSP
+    # counter so the two cannot drift).
+    index = build_wedge_index(dag)
+    total_wedges = index.total_wedges
     total_triangles = 0
-
-    # Batched wedge enumeration + closure check.
-    arc_starts = np.concatenate([[0], np.cumsum(wedges_per_arc)])
-    arc_lo = 0
     deg = graph.degrees()
-    while arc_lo < dag_dst.size:
-        arc_hi = int(
-            np.searchsorted(arc_starts, arc_starts[arc_lo] + WEDGE_BATCH, "right")
-        ) - 1
-        arc_hi = max(arc_hi, arc_lo + 1)
-        sel = slice(arc_lo, arc_hi)
-        counts = wedges_per_arc[sel]
-        if counts.sum():
-            centre = np.repeat(dag_src[sel], counts)
-            w = np.repeat(dag_dst[sel], counts)
-            u_pos = np.repeat(rev_ptr[dag_src[sel]], counts) + _ragged_arange(
-                counts
-            )
-            u = rev_src[u_pos]
-            keys = u * n + w
-            # counts.sum() > 0 implies the DAG has arcs, so arc_keys is
-            # non-empty here and clamping the insertion point is safe.
-            pos = np.minimum(np.searchsorted(arc_keys, keys), arc_keys.size - 1)
-            hit = arc_keys[pos] == keys
-            closed = int(np.count_nonzero(hit))
-            total_triangles += closed
-            if closed:
-                np.add.at(per_vertex, u[hit], 1)
-                np.add.at(per_vertex, centre[hit], 1)
-                np.add.at(per_vertex, w[hit], 1)
-        arc_lo = arc_hi
+    for u, centre, w, hit in iter_closed_wedges(index, batch_size=WEDGE_BATCH):
+        closed = int(np.count_nonzero(hit))
+        total_triangles += closed
+        if closed:
+            corners = np.concatenate([u[hit], centre[hit], w[hit]])
+            per_vertex += np.bincount(corners, minlength=n)
 
     # --- work accounting: the paper's triply-nested shared-memory loop.
     # Inner iterations = sum over all (v, u in N(v)) of d(u) = sum d(u)^2.

@@ -186,7 +186,9 @@ class HashedMemory:
     def record_accesses(self, addresses: np.ndarray) -> None:
         """Account a batch of word accesses to their modules."""
         modules = np.atleast_1d(self.module_of(addresses))
-        np.add.at(self.module_loads, modules, 1)
+        self.module_loads += np.bincount(
+            modules, minlength=self.module_loads.size
+        )
 
     def load_imbalance(self) -> float:
         """max/mean module load; 1.0 is perfectly balanced."""

@@ -156,6 +156,32 @@ class TestReverse:
         assert r.edge_weights(1).tolist() == [5.0]
         assert r.edge_weights(2).tolist() == [7.0]
 
+    def test_reverse_weighted_directed_sorted_adjacency(self):
+        """Transposed adjacency runs stay sorted with weights paired."""
+        rng = np.random.default_rng(3)
+        n = 40
+        edges = [
+            (int(rng.integers(n)), int(rng.integers(n))) for _ in range(200)
+        ]
+        edges = [(u, v) for u, v in edges if u != v]
+        weights = rng.uniform(0.5, 9.5, size=len(edges))
+        g = from_edge_list(edges, num_vertices=n, weights=weights, directed=True)
+        r = g.reverse()
+        src = g.arc_sources()
+        expected = {}
+        for u, v, w in zip(src.tolist(), g.col_idx.tolist(), g.weights.tolist()):
+            expected.setdefault(v, []).append((u, w))
+        for v in range(n):
+            nbrs = r.neighbors(v)
+            assert np.array_equal(nbrs, np.sort(nbrs))
+            got = list(zip(nbrs.tolist(), r.edge_weights(v).tolist()))
+            assert sorted(got) == sorted(expected.get(v, []))
+        # Double transpose is the original arc set, weights included.
+        rr = r.reverse()
+        assert np.array_equal(rr.row_ptr, g.row_ptr)
+        assert np.array_equal(rr.col_idx, g.col_idx)
+        np.testing.assert_array_equal(rr.weights, g.weights)
+
 
 def test_memory_footprint_counts_all_arrays():
     g = from_edge_list([(0, 1)], weights=[1.0])

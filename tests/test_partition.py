@@ -8,6 +8,7 @@ from repro.cluster.partition import (
     balanced_edge_partition,
     hash_partition,
     partition_stats,
+    shard_indices,
 )
 from repro.graph import ring_graph, rmat, star_graph
 
@@ -74,6 +75,41 @@ class TestPaperClaim:
         stats = partition_stats(g, hash_partition(g, 8))
         # The hub's machine receives ~1000 incoming arcs; others ~125.
         assert stats.edge_imbalance > 4
+
+
+class TestShardIndices:
+    """The sharded BSP engine's view of an assignment array."""
+
+    def test_inverse_of_assignment(self, small_rmat):
+        assignment = hash_partition(small_rmat, 8)
+        shards = shard_indices(assignment)
+        assert len(shards) == 8
+        merged = np.concatenate(shards)
+        assert np.array_equal(np.sort(merged), np.arange(assignment.size))
+        for m, shard in enumerate(shards):
+            assert np.all(np.diff(shard) > 0)  # ascending, no duplicates
+            assert np.all(assignment[shard] == m)
+
+    def test_num_shards_extends_with_empty_shards(self):
+        assignment = np.array([0, 0, 1])
+        shards = shard_indices(assignment, num_shards=4)
+        assert len(shards) == 4
+        assert shards[2].size == 0 and shards[3].size == 0
+
+    def test_num_shards_too_small_rejected(self):
+        with pytest.raises(ValueError, match="references machine 3"):
+            shard_indices(np.array([0, 3]), num_shards=2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            shard_indices(np.zeros((2, 2), dtype=int))
+        with pytest.raises(ValueError, match="non-negative"):
+            shard_indices(np.array([0, -1]))
+
+    def test_empty_assignment(self):
+        shards = shard_indices(np.empty(0, dtype=np.int64), num_shards=3)
+        assert len(shards) == 3
+        assert all(s.size == 0 for s in shards)
 
 
 class TestPartitionStats:
