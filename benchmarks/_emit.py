@@ -1,0 +1,72 @@
+"""Schema-versioned benchmark result emission.
+
+Every benchmark in this directory writes a machine-readable
+``BENCH_<name>.json`` next to its pytest-benchmark timing, so CI can
+archive reproduced paper numbers without scraping stdout.  The default
+output directory is ``results/bench`` (override with the
+``REPRO_BENCH_OUT`` environment variable).
+
+The payload layout is::
+
+    {
+      "schema_version": 1,
+      "benchmark": "<name>",
+      "config": {...},   # workload parameters (scale, seed, ...)
+      "data": {...}      # reproduced numbers (the extra_info dict)
+    }
+
+Benchmarks are wired through this module automatically by the autouse
+fixture in ``conftest.py``; a benchmark that needs a custom payload can
+also call :func:`emit_bench` directly (the explicit file wins — the
+autouse fixture skips names already emitted this session).
+"""
+
+import json
+import os
+
+import numpy as np
+
+__all__ = ["SCHEMA_VERSION", "emit_bench"]
+
+#: Bump on breaking changes to the BENCH_*.json payload layout.
+SCHEMA_VERSION = 1
+
+#: Names explicitly emitted this session (autouse fixture skips these).
+_EMITTED: set = set()
+
+
+def _jsonable(obj):
+    """Recursively convert numpy scalars/arrays for ``json.dump``."""
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    return obj
+
+
+def emit_bench(name, *, config=None, data=None, path=None):
+    """Write ``BENCH_<name>.json`` and return its path.
+
+    ``config`` describes the workload (scale, seed, ...); ``data``
+    carries the reproduced numbers.  ``path`` overrides the default
+    ``$REPRO_BENCH_OUT/BENCH_<name>.json`` location.
+    """
+    out_dir = os.environ.get("REPRO_BENCH_OUT", "results/bench")
+    if path is None:
+        path = os.path.join(out_dir, f"BENCH_{name}.json")
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": name,
+        "config": _jsonable(config or {}),
+        "data": _jsonable(data or {}),
+    }
+    with open(path, "w", encoding="ascii") as fh:
+        json.dump(payload, fh, indent=1, default=float)
+        fh.write("\n")
+    _EMITTED.add(name)
+    return path

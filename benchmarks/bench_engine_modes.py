@@ -10,6 +10,7 @@ paper-scale experiments tractable.
 
 import time
 
+from _emit import emit_bench
 from conftest import once
 
 import numpy as np
@@ -47,11 +48,22 @@ def bench_engine_modes(benchmark, workload, capsys):
         f"dense engine must be >=10x the reference engine, got {speedup:.1f}x"
     )
 
-    benchmark.extra_info.update(
+    info = dict(
         supersteps=ref.num_supersteps,
         messages=ref.total_messages,
         seconds={"reference": round(t_ref, 4), "dense": round(t_dense, 4)},
         speedup=round(speedup, 1),
+    )
+    benchmark.extra_info.update(info)
+    emit_bench(
+        "engine_modes",
+        config={
+            "algorithm": "cc",
+            "scale": workload.config.scale,
+            "edge_factor": workload.config.edge_factor,
+            "seed": workload.config.seed,
+        },
+        data=info,
     )
     with capsys.disabled():
         print(

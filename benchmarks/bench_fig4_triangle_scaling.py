@@ -8,6 +8,7 @@ the wedge/triangle ratio, and hence the write ratio, is smaller; see
 EXPERIMENTS.md.)
 """
 
+from _emit import emit_bench
 from conftest import once
 
 from repro.analysis.experiments import run_fig4
@@ -26,7 +27,7 @@ def bench_fig4_triangle_counting(benchmark, config, capsys):
     assert result.bsp.possible_triangles > 2 * result.bsp.total_triangles
     assert result.bsp.total_triangles == result.graphct.total_triangles
 
-    benchmark.extra_info.update(
+    info = dict(
         bsp_times={p: round(v, 4) for p, v in result.bsp_times.items()},
         graphct_times={
             p: round(v, 4) for p, v in result.graphct_times.items()
@@ -35,6 +36,17 @@ def bench_fig4_triangle_counting(benchmark, config, capsys):
         actual_triangles=result.bsp.total_triangles,
         write_ratio=round(result.write_ratio, 1),
         paper="444s vs 47.4s; 5.5e9 possible vs 30.9e6 actual; 181x writes",
+    )
+    benchmark.extra_info.update(info)
+    emit_bench(
+        "fig4_triangle_counting",
+        config={
+            "scale": config.scale,
+            "edge_factor": config.edge_factor,
+            "seed": config.seed,
+            "processor_counts": list(config.processor_counts),
+        },
+        data=info,
     )
 
     with capsys.disabled():

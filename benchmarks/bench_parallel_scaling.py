@@ -19,6 +19,7 @@ the point of the exercise.
 import os
 import time
 
+from _emit import emit_bench
 from conftest import once
 
 import numpy as np
@@ -99,7 +100,7 @@ def bench_parallel_scaling(benchmark, workload, capsys):
             f"got {best_at_4:.2f}x"
         )
 
-    benchmark.extra_info.update(
+    info = dict(
         host_cores=cores,
         worker_counts=list(WORKER_COUNTS),
         seconds={
@@ -114,6 +115,17 @@ def bench_parallel_scaling(benchmark, workload, capsys):
             for name in PROGRAMS
         },
         paper="Figure 3 shape: near-linear at apex levels, flat tails",
+    )
+    benchmark.extra_info.update(info)
+    emit_bench(
+        "parallel_scaling",
+        config={
+            "scale": workload.config.scale,
+            "edge_factor": workload.config.edge_factor,
+            "seed": workload.config.seed,
+            "partition": "balanced-edge",
+        },
+        data=info,
     )
 
     with capsys.disabled():

@@ -7,6 +7,11 @@ time of this library's implementation* with pytest-benchmark and stashes
 the reproduced paper numbers (simulated XMT seconds, ratios, counts) in
 ``benchmark.extra_info``, printing the paper-layout table to stdout.
 
+Each benchmark's ``extra_info`` is additionally written as a
+schema-versioned ``results/bench/BENCH_<name>.json`` (see ``_emit.py``;
+override the directory with ``REPRO_BENCH_OUT``) by the autouse fixture
+below, so CI can archive reproduced numbers as artifacts.
+
 Run with::
 
     pytest benchmarks/ --benchmark-only
@@ -16,6 +21,7 @@ import os
 
 import pytest
 
+from _emit import _EMITTED, emit_bench
 from repro.analysis.workload import ExperimentConfig, build_workload
 
 BENCH_SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "14"))
@@ -29,6 +35,40 @@ def config():
 @pytest.fixture(scope="session")
 def workload(config):
     return build_workload(config)
+
+
+@pytest.fixture(autouse=True)
+def _bench_json(request):
+    """Emit ``BENCH_<name>.json`` for every benchmark's extra_info."""
+    # Instantiate the benchmark fixture *before* the test so its object
+    # is still alive (not torn down) when we read extra_info afterwards.
+    bm = (
+        request.getfixturevalue("benchmark")
+        if "benchmark" in request.fixturenames
+        else None
+    )
+    yield
+    if bm is None:
+        return
+    data = dict(bm.extra_info)
+    stats = getattr(getattr(bm, "stats", None), "stats", None)
+    if stats is not None:
+        data["timing"] = {
+            "mean_s": stats.mean,
+            "stddev_s": stats.stddev,
+            "rounds": stats.rounds,
+        }
+    if not data:
+        return
+    name = request.node.name
+    name = name[len("bench_"):] if name.startswith("bench_") else name
+    if name in _EMITTED:  # benchmark already emitted a custom payload
+        return
+    emit_bench(
+        name,
+        config={"scale": BENCH_SCALE, "edge_factor": 16, "seed": 1},
+        data=data,
+    )
 
 
 def once(benchmark, fn):

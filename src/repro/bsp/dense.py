@@ -43,6 +43,7 @@ from repro.bsp.engine import BSPResult
 from repro.bsp.instrumentation import record_superstep
 from repro.graph.csr import CSRGraph
 from repro.runtime.loops import Tracer
+from repro.telemetry.core import NULL_TELEMETRY, Telemetry
 from repro.xmt.calibration import DEFAULT_COSTS, KernelCosts
 
 __all__ = [
@@ -203,6 +204,12 @@ class DenseBSPEngine:
         Named global aggregators available to the program.
     costs:
         Kernel accounting constants for the work trace.
+    telemetry:
+        Optional :class:`~repro.telemetry.core.Telemetry` receiving
+        wall-clock spans (superstep/gather/compute/scatter) and counter
+        samples.  Defaults to the no-op
+        :data:`~repro.telemetry.core.NULL_TELEMETRY`; recording never
+        alters results or the modeled work trace.
     """
 
     def __init__(
@@ -212,10 +219,14 @@ class DenseBSPEngine:
         combine_messages: bool = False,
         aggregators: dict[str, Aggregator] | None = None,
         costs: KernelCosts = DEFAULT_COSTS,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.graph = graph
         self.combine_messages = combine_messages
         self.costs = costs
+        self.telemetry = NULL_TELEMETRY if telemetry is None else telemetry
+        #: Superstep the telemetry hooks attribute phase spans to.
+        self._tel_superstep = -1
         self._aggregators = dict(aggregators or {})
         # Mutable run state (rebuilt per run):
         self.values: np.ndarray = np.empty(0)
@@ -343,6 +354,7 @@ class DenseBSPEngine:
         # instead of a sort.  It is empty right after a resume and is
         # recomputed from the senders.
         self._scatter_reset()
+        tel = self.telemetry
         while superstep < max_supersteps:
             if (
                 checkpoint_every is not None
@@ -351,15 +363,20 @@ class DenseBSPEngine:
                 and (resume_from is None or superstep > resume_from.superstep)
             ):
                 checkpoint_store.save(self._snapshot(superstep, senders, result))
+            self._tel_superstep = superstep
+            step_start = tel.now()
             if superstep == 0:
                 compute_set = active0
                 receivers = np.empty(0, dtype=np.int64)
                 gathered = None
                 received = 0
             else:
-                gathered, receivers, raw_received = self._gather(
-                    program, senders, identity
-                )
+                with tel.span(
+                    "gather", category="phase", superstep=superstep
+                ):
+                    gathered, receivers, raw_received = self._gather(
+                        program, senders, identity
+                    )
                 if self.halted.all():
                     compute_set = receivers
                 else:
@@ -382,13 +399,15 @@ class DenseBSPEngine:
             ctx = DenseSuperstepContext(
                 self, superstep, compute_set, receivers, gathered
             )
-            new_senders = program.compute(ctx)
+            with tel.span("compute", category="phase", superstep=superstep):
+                new_senders = program.compute(ctx)
             if new_senders is None:
                 new_senders = np.empty(0, dtype=np.int64)
             else:
                 new_senders = np.asarray(new_senders, dtype=np.int64)
 
-            sent_raw, enq = self._scatter(program, new_senders)
+            with tel.span("scatter", category="phase", superstep=superstep):
+                sent_raw, enq = self._scatter(program, new_senders)
             sent = sent_raw
             if self.combine_messages and sent_raw:
                 enq = np.minimum(enq, 1)
@@ -408,6 +427,26 @@ class DenseBSPEngine:
             for name in self._aggregators:
                 self._agg_visible[name] = self._agg_current[name]
                 result.aggregator_history[name].append(self._agg_visible[name])
+
+            if tel.enabled:
+                tel.add_span(
+                    "superstep",
+                    step_start,
+                    tel.now(),
+                    category="superstep",
+                    superstep=superstep,
+                    active=int(compute_set.size),
+                    sent=int(sent),
+                    received=int(received),
+                )
+                tel.counter(
+                    "active_vertices", int(compute_set.size),
+                    superstep=superstep,
+                )
+                tel.counter("messages_sent", int(sent), superstep=superstep)
+                tel.counter(
+                    "messages_received", int(received), superstep=superstep
+                )
 
             senders = new_senders
             superstep += 1
@@ -474,6 +513,12 @@ class DenseBSPEngine:
             if dst.size
             else np.empty(0, dtype=np.int64)
         )
+        if self.telemetry.enabled:
+            self.telemetry.counter(
+                "bytes_delivered",
+                int(payload.nbytes),
+                superstep=self._tel_superstep,
+            )
         return gathered, receivers, int(dst.size)
 
     def _scatter(

@@ -32,6 +32,7 @@ from repro.bsp.messages import MessageBuffer
 from repro.bsp.vertex import VertexContext, VertexProgram
 from repro.graph.csr import CSRGraph
 from repro.runtime.loops import Tracer
+from repro.telemetry.core import NULL_TELEMETRY, Telemetry
 from repro.xmt.calibration import DEFAULT_COSTS, KernelCosts
 from repro.xmt.trace import WorkTrace
 
@@ -79,6 +80,10 @@ class BSPEngine:
         Named global aggregators available to the program.
     costs:
         Kernel accounting constants for the work trace.
+    telemetry:
+        Optional :class:`~repro.telemetry.core.Telemetry` receiving
+        wall-clock superstep/compute spans and counter samples; defaults
+        to the no-op :data:`~repro.telemetry.core.NULL_TELEMETRY`.
     """
 
     def __init__(
@@ -88,10 +93,12 @@ class BSPEngine:
         combiner: Combiner | None = None,
         aggregators: dict[str, Aggregator] | None = None,
         costs: KernelCosts = DEFAULT_COSTS,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.graph = graph
         self.combiner = combiner
         self.costs = costs
+        self.telemetry = NULL_TELEMETRY if telemetry is None else telemetry
         self._aggregators = dict(aggregators or {})
         # Mutable run state (rebuilt per run):
         self.values: list[Any] = []
@@ -207,6 +214,7 @@ class BSPEngine:
                 result.aggregator_history[name] = []
             superstep = 0
 
+        tel = self.telemetry
         while superstep < max_supersteps:
             if (
                 checkpoint_every is not None
@@ -215,6 +223,7 @@ class BSPEngine:
                 and (resume_from is None or superstep > resume_from.superstep)
             ):
                 checkpoint_store.save(self._snapshot(superstep, inbox, result))
+            step_start = tel.now()
             if superstep == 0:
                 compute_set = active0
             else:
@@ -230,13 +239,14 @@ class BSPEngine:
             }
             received = 0
             ctx = VertexContext(self)
-            for v in compute_set:
-                msgs = inbox.messages_for(v)
-                received += len(msgs)
-                self.halted[v] = False  # computing re-activates
-                ctx._vertex = v
-                ctx._superstep = superstep
-                program.compute(ctx, msgs)
+            with tel.span("compute", category="phase", superstep=superstep):
+                for v in compute_set:
+                    msgs = inbox.messages_for(v)
+                    received += len(msgs)
+                    self.halted[v] = False  # computing re-activates
+                    ctx._vertex = v
+                    ctx._superstep = superstep
+                    program.compute(ctx, msgs)
 
             sent = self.outbox.total_sent
             self._record_superstep(
@@ -247,6 +257,25 @@ class BSPEngine:
             for name in self._aggregators:
                 self._agg_visible[name] = self._agg_current[name]
                 result.aggregator_history[name].append(self._agg_visible[name])
+
+            if tel.enabled:
+                tel.add_span(
+                    "superstep",
+                    step_start,
+                    tel.now(),
+                    category="superstep",
+                    superstep=superstep,
+                    active=len(compute_set),
+                    sent=int(sent),
+                    received=int(received),
+                )
+                tel.counter(
+                    "active_vertices", len(compute_set), superstep=superstep
+                )
+                tel.counter("messages_sent", int(sent), superstep=superstep)
+                tel.counter(
+                    "messages_received", int(received), superstep=superstep
+                )
 
             inbox = self.outbox
             superstep += 1

@@ -105,6 +105,17 @@ def with_queue_design(
     """
     if design not in QUEUE_DESIGNS:
         raise ValueError(f"design must be one of {QUEUE_DESIGNS}")
+    if costs.message_enqueue_writes <= 0:
+        # The rewrite divides traced enqueue writes by this constant to
+        # recover per-superstep message counts; with it at 0 the trace
+        # does not encode the counts and every superstep would silently
+        # pass through unmodified.
+        raise ValueError(
+            "with_queue_design cannot recover message counts: "
+            "costs.message_enqueue_writes is 0, so enqueue writes do not "
+            "encode the sent count; re-trace with a KernelCosts whose "
+            "message_enqueue_writes is positive"
+        )
     out = WorkTrace(label=f"{trace.label}[{design}]")
     for region in trace:
         if region.kind != "superstep" or region.atomics <= 0:

@@ -47,6 +47,7 @@ freely with the dense engine) — is inherited verbatim.
 from __future__ import annotations
 
 import os
+import time
 import traceback
 from multiprocessing import get_all_start_methods, get_context, shared_memory
 from typing import Any
@@ -61,6 +62,7 @@ from repro.cluster.partition import (
     shard_indices,
 )
 from repro.graph.csr import CSRGraph
+from repro.telemetry.core import Telemetry, worker_track
 from repro.xmt.calibration import DEFAULT_COSTS, KernelCosts
 
 __all__ = [
@@ -188,6 +190,12 @@ def _worker_main(conn, spec: dict) -> None:
             cmd = msg[0]
             if cmd == "close":
                 return
+            # Busy time (recv-to-reply) rides as the last element of
+            # every "ok" reply, so the parent's telemetry can draw
+            # per-worker rows and barrier-wait skew without a second
+            # round trip.  The nanosecond read costs ~100ns per task —
+            # negligible against any superstep's work.
+            t_busy = time.perf_counter_ns()
             try:
                 if cmd == "run":
                     _, program, values_name, values_dtype, gathered_name = msg
@@ -208,11 +216,13 @@ def _worker_main(conn, spec: dict) -> None:
                     )
                     mask = dst = None
                     generation = -1
-                    conn.send(("ok",))
+                    conn.send(("ok", time.perf_counter_ns() - t_busy))
                 elif cmd == "scatter":
                     _, gen, senders = msg
                     refresh_scatter(gen, senders)
-                    conn.send(("ok", int(dst.size)))
+                    conn.send(
+                        ("ok", int(dst.size), time.perf_counter_ns() - t_busy)
+                    )
                 elif cmd == "gather":
                     _, gen, senders = msg
                     hist_fresh = gen != generation
@@ -224,7 +234,14 @@ def _worker_main(conn, spec: dict) -> None:
                     gathered_out[:] = program.combine_identity
                     if dst.size:
                         program.combine.at(gathered_out, dst, payload)
-                    conn.send(("ok", int(dst.size), hist_fresh))
+                    conn.send(
+                        (
+                            "ok",
+                            int(dst.size),
+                            hist_fresh,
+                            time.perf_counter_ns() - t_busy,
+                        )
+                    )
                 else:
                     conn.send(("error", f"unknown command {cmd!r}"))
             except Exception:
@@ -267,8 +284,11 @@ class ShardedBSPEngine(DenseBSPEngine):
         Multiprocessing start method; default ``fork`` where available
         (cheapest pool spawn), else ``spawn``.  Override with the
         ``REPRO_SHARDED_START_METHOD`` environment variable.
-    combine_messages, aggregators, costs:
-        As for :class:`DenseBSPEngine`.
+    combine_messages, aggregators, costs, telemetry:
+        As for :class:`DenseBSPEngine`.  With telemetry enabled the
+        engine additionally records per-worker busy spans (one trace
+        row per worker), barrier spans around every exchange, and
+        per-worker busy/wait and shard-size counters.
     """
 
     def __init__(
@@ -281,12 +301,14 @@ class ShardedBSPEngine(DenseBSPEngine):
         combine_messages: bool = False,
         aggregators: dict | None = None,
         costs: KernelCosts = DEFAULT_COSTS,
+        telemetry: Telemetry | None = None,
     ) -> None:
         super().__init__(
             graph,
             combine_messages=combine_messages,
             aggregators=aggregators,
             costs=costs,
+            telemetry=telemetry,
         )
         if num_workers is None:
             num_workers = os.cpu_count() or 1
@@ -403,8 +425,22 @@ class ShardedBSPEngine(DenseBSPEngine):
         if self._closed:
             raise RuntimeError("engine is closed")
 
-    def _exchange(self, tasks: dict[int, tuple]) -> dict[int, tuple]:
-        """Send one task per worker, collect one reply per worker."""
+    def _exchange(
+        self, tasks: dict[int, tuple], phase: str | None = None
+    ) -> dict[int, tuple]:
+        """Send one task per worker, collect one reply per worker.
+
+        With telemetry enabled and a ``phase`` name given, the exchange
+        is recorded as one ``"barrier"`` span on the main track plus a
+        per-worker busy span on each worker's track (anchored to end at
+        the parent's receive, with the duration the worker measured),
+        and per-worker busy/wait counters.  Wait time is the barrier
+        window minus the worker's busy time — the skew the balanced
+        partition policies exist to shrink.
+        """
+        tel = self.telemetry
+        record = tel.enabled and phase is not None
+        t0 = tel.now()
         for w, payload in tasks.items():
             self._conns[w].send(payload)
         replies: dict[int, tuple] = {}
@@ -419,6 +455,18 @@ class ShardedBSPEngine(DenseBSPEngine):
                 errors.append((w, reply[1]))
             else:
                 replies[w] = reply
+                if record:
+                    t_recv = tel.now()
+                    busy = int(reply[-1])
+                    tel.add_span(
+                        phase,
+                        t_recv - busy,
+                        t_recv,
+                        category="worker",
+                        track=worker_track(w),
+                        superstep=self._tel_superstep,
+                        worker=w,
+                    )
         if errors:
             detail = "\n".join(
                 f"[shard worker {w}] {text}" for w, text in errors
@@ -426,6 +474,31 @@ class ShardedBSPEngine(DenseBSPEngine):
             raise ShardedWorkerError(
                 f"{len(errors)} shard worker(s) failed:\n{detail}"
             )
+        if record:
+            t1 = tel.now()
+            tel.add_span(
+                "barrier",
+                t0,
+                t1,
+                category="phase",
+                superstep=self._tel_superstep,
+                phase=phase,
+                workers=len(tasks),
+            )
+            for w, reply in replies.items():
+                busy = int(reply[-1])
+                tel.counter(
+                    "worker_busy_ns",
+                    busy,
+                    track=worker_track(w),
+                    superstep=self._tel_superstep,
+                )
+                tel.counter(
+                    "worker_wait_ns",
+                    max((t1 - t0) - busy, 0),
+                    track=worker_track(w),
+                    superstep=self._tel_superstep,
+                )
         return replies
 
     def _split(self, vertices: np.ndarray) -> list[np.ndarray]:
@@ -496,11 +569,20 @@ class ShardedBSPEngine(DenseBSPEngine):
         self._participants = tuple(
             w for w, s in enumerate(self._shard_senders) if s.size
         )
+        if self.telemetry.enabled:
+            for w, shard in enumerate(self._shard_senders):
+                self.telemetry.counter(
+                    "shard_senders",
+                    int(shard.size),
+                    track=worker_track(w),
+                    superstep=self._tel_superstep,
+                )
         self._exchange(
             {
                 w: ("scatter", self._generation, self._shard_senders[w])
                 for w in self._participants
-            }
+            },
+            phase="scatter",
         )
         return sent_raw, self._merged_hist(self._participants)
 
@@ -528,15 +610,26 @@ class ShardedBSPEngine(DenseBSPEngine):
             {
                 w: ("gather", self._generation, self._shard_senders[w])
                 for w in participants
-            }
+            },
+            phase="gather",
         )
+        tel = self.telemetry
         raw = sum(reply[1] for reply in replies.values())
         gathered = np.full(n, identity, dtype=mdtype)
         # Merge the per-worker partial folds in shard order.  Exact for
         # every idempotent/integer combine; float np.add may differ from
         # the single-pass fold in the last ulp across shard boundaries.
-        for w in participants:
-            program.combine(gathered, self._gathered[w], out=gathered)
+        with tel.span(
+            "combine", category="phase", superstep=self._tel_superstep
+        ):
+            for w in participants:
+                program.combine(gathered, self._gathered[w], out=gathered)
+        if tel.enabled:
+            tel.counter(
+                "bytes_delivered",
+                int(raw) * mdtype.itemsize,
+                superstep=self._tel_superstep,
+            )
         if self._pending_hist is None:
             self._pending_hist = self._merged_hist(participants)
         receivers = (
@@ -587,3 +680,6 @@ class ShardedBSPEngine(DenseBSPEngine):
 
     def __enter__(self) -> "ShardedBSPEngine":
         return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -149,18 +149,25 @@ def bsp_breadth_first_search(
     max_supersteps: int = 10_000,
     num_workers: int | None = None,
     partition: str = "hash",
+    telemetry=None,
 ) -> BSPBFSResult:
     """Dense-engine execution of Algorithm 2.
 
     ``num_workers`` > 1 shards the scatter/gather over that many worker
-    processes under the given ``partition`` placement.
+    processes under the given ``partition`` placement.  ``telemetry``
+    (a :class:`~repro.telemetry.core.Telemetry`) records wall-clock
+    spans without affecting results.
     """
     n = graph.num_vertices
     if not 0 <= source < n:
         raise IndexError(f"source {source} out of range [0, {n})")
     program = DenseBreadthFirstSearch(source)
     engine = make_engine(
-        graph, num_workers=num_workers, partition=partition, costs=costs
+        graph,
+        num_workers=num_workers,
+        partition=partition,
+        costs=costs,
+        telemetry=telemetry,
     )
     try:
         result = engine.run(

@@ -116,6 +116,7 @@ def bsp_connected_components(
     combine_messages: bool = False,
     num_workers: int | None = None,
     partition: str = "hash",
+    telemetry=None,
 ) -> BSPComponentsResult:
     """Dense-engine execution of Algorithm 1.
 
@@ -133,6 +134,7 @@ def bsp_connected_components(
     ``num_workers`` > 1 shards the scatter/gather over that many worker
     processes under the given ``partition`` placement (results are
     unaffected — min-combine folds are exact at any partition).
+    ``telemetry`` records wall-clock spans without affecting results.
     """
     if graph.directed:
         raise ValueError(
@@ -144,6 +146,7 @@ def bsp_connected_components(
         partition=partition,
         combine_messages=combine_messages,
         costs=costs,
+        telemetry=telemetry,
     )
     try:
         result = engine.run(

@@ -127,12 +127,14 @@ def bsp_k_core(
     max_supersteps: int = 100_000,
     num_workers: int | None = None,
     partition: str = "hash",
+    telemetry=None,
 ) -> BSPKCoreResult:
     """Dense-engine BSP k-core membership (semantics of :class:`BSPKCore`).
 
     ``num_workers`` > 1 shards the scatter/gather over that many worker
     processes under the given ``partition`` placement (membership is
     unaffected — integer sum folds are exact at any partition).
+    ``telemetry`` records wall-clock spans without affecting results.
     """
     if graph.directed:
         raise ValueError("k-core requires an undirected graph")
@@ -140,7 +142,11 @@ def bsp_k_core(
         raise ValueError("k must be non-negative")
     program = DenseKCore(k)
     engine = make_engine(
-        graph, num_workers=num_workers, partition=partition, costs=costs
+        graph,
+        num_workers=num_workers,
+        partition=partition,
+        costs=costs,
+        telemetry=telemetry,
     )
     try:
         result = engine.run(

@@ -150,6 +150,7 @@ def bsp_pagerank(
     costs: KernelCosts = DEFAULT_COSTS,
     num_workers: int | None = None,
     partition: str = "hash",
+    telemetry=None,
 ) -> BSPPageRankResult:
     """Dense-engine fixed-superstep BSP PageRank (with dangling handling).
 
@@ -157,10 +158,15 @@ def bsp_pagerank(
     processes under the given ``partition`` placement.  Sharded float
     summation may differ from single-process ranks in the last ulp
     (the per-shard partial sums merge in shard order).
+    ``telemetry`` records wall-clock spans without affecting results.
     """
     program = DensePageRank(num_supersteps=num_supersteps, damping=damping)
     engine = make_engine(
-        graph, num_workers=num_workers, partition=partition, costs=costs
+        graph,
+        num_workers=num_workers,
+        partition=partition,
+        costs=costs,
+        telemetry=telemetry,
     )
     try:
         result = engine.run(

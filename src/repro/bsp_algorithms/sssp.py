@@ -119,12 +119,14 @@ def bsp_sssp(
     max_supersteps: int = 100_000,
     num_workers: int | None = None,
     partition: str = "hash",
+    telemetry=None,
 ) -> BSPSSSPResult:
     """Dense-engine BSP SSSP (unit weights when the graph is unweighted).
 
     ``num_workers`` > 1 shards the scatter/gather over that many worker
     processes under the given ``partition`` placement (distances are
     unaffected — min-combine folds are exact at any partition).
+    ``telemetry`` records wall-clock spans without affecting results.
     """
     n = graph.num_vertices
     if not 0 <= source < n:
@@ -132,7 +134,11 @@ def bsp_sssp(
     if graph.weights is not None and graph.weights.size and graph.weights.min() < 0:
         raise ValueError("bsp_sssp requires non-negative weights")
     engine = make_engine(
-        graph, num_workers=num_workers, partition=partition, costs=costs
+        graph,
+        num_workers=num_workers,
+        partition=partition,
+        costs=costs,
+        telemetry=telemetry,
     )
     try:
         result = engine.run(

@@ -19,7 +19,9 @@ actual triangles — 181x the shared-memory writes for 9.4x the time.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
+from multiprocessing import get_all_start_methods, get_context
 from typing import Sequence
 
 import numpy as np
@@ -30,10 +32,12 @@ from repro.graph.csr import CSRGraph
 from repro.graph.dag import ascending_orientation
 from repro.graph.wedges import (
     WEDGE_BATCH,
+    WedgeIndex,
     build_wedge_index,
     iter_closed_wedges,
 )
 from repro.runtime.loops import Tracer
+from repro.telemetry.core import NULL_TELEMETRY, worker_track
 from repro.xmt.calibration import DEFAULT_COSTS, KernelCosts
 from repro.xmt.trace import WorkTrace
 
@@ -97,14 +101,74 @@ class BSPTriangleResult:
         return sum(self.messages_per_superstep)
 
 
+# -- sharded closure scan (multiprocessing.Pool helpers) ---------------
+_SCAN_INDEX: WedgeIndex | None = None
+
+
+def _scan_init(index: WedgeIndex) -> None:
+    """Pool initializer: stash the wedge index once per worker."""
+    global _SCAN_INDEX
+    _SCAN_INDEX = index
+
+
+def _scan_arc_range(
+    arc_range: tuple[int, int],
+) -> tuple[int, np.ndarray, int]:
+    """Closure-scan one contiguous out-arc range.
+
+    Returns ``(closed, per_vertex, busy_ns)`` — the triangle count of
+    the range, the per-minimum-corner histogram, and the worker's busy
+    time for telemetry attribution.
+    """
+    t0 = time.perf_counter_ns()
+    index = _SCAN_INDEX
+    n = index.num_vertices
+    per_vertex = np.zeros(n, dtype=np.int64)
+    closed = 0
+    for u, _centre, _w, hit in iter_closed_wedges(
+        index, batch_size=WEDGE_BATCH, arc_range=arc_range
+    ):
+        hits = int(np.count_nonzero(hit))
+        closed += hits
+        if hits:
+            per_vertex += np.bincount(u[hit], minlength=n)
+    return closed, per_vertex, time.perf_counter_ns() - t0
+
+
+def _arc_ranges(index: WedgeIndex, num_workers: int) -> list[tuple[int, int]]:
+    """Split the out-arcs into contiguous ranges of ~equal wedge load."""
+    m = int(index.dag_dst.size)
+    cum = np.concatenate([[0], np.cumsum(index.wedges_per_arc)])
+    total = int(cum[-1])
+    bounds = [0]
+    for i in range(1, num_workers):
+        b = int(np.searchsorted(cum, total * i // num_workers))
+        bounds.append(min(max(b, bounds[-1]), m))
+    bounds.append(m)
+    return [(bounds[i], bounds[i + 1]) for i in range(num_workers)]
+
+
 def bsp_count_triangles(
     graph: CSRGraph,
     *,
     costs: KernelCosts = DEFAULT_COSTS,
+    num_workers: int | None = None,
+    telemetry=None,
 ) -> BSPTriangleResult:
-    """Vectorized whole-superstep execution of Algorithm 3."""
+    """Vectorized whole-superstep execution of Algorithm 3.
+
+    ``num_workers`` > 1 shards the superstep-2 closure scan (the
+    dominant cost — one membership test per possible triangle) over a
+    process pool, each worker taking one contiguous out-arc range of
+    roughly equal wedge load.  Per-range triangle counts and
+    per-minimum-corner histograms are integers, so the merge is exact
+    and the result is bit-identical to the serial scan.  ``telemetry``
+    records one wall-clock span per superstep plus per-worker scan
+    spans, without affecting results.
+    """
     if graph.directed:
         raise ValueError("BSP triangle counting requires an undirected graph")
+    tel = NULL_TELEMETRY if telemetry is None else telemetry
     n = graph.num_vertices
     tracer = Tracer(label="bsp/triangles")
     dag = ascending_orientation(graph)
@@ -122,6 +186,7 @@ def bsp_count_triangles(
 
     # --- superstep 0: v -> n for v < n: one message per undirected edge.
     # Every vertex scans its full neighbour list to apply the v < n test.
+    step_start = tel.now()
     s0_sent = int(dag_dst.size)
     enq0 = in_degree
     record_superstep(
@@ -132,11 +197,18 @@ def bsp_count_triangles(
     )
     message_hist.append(s0_sent)
     active_hist.append(n)
+    if tel.enabled:
+        tel.add_span(
+            "superstep", step_start, tel.now(), category="superstep",
+            superstep=0, active=n, sent=s0_sent, received=0,
+        )
+        tel.counter("messages_sent", s0_sent, superstep=0)
 
     # --- superstep 1: each message m at v fans out to neighbours n > v.
     # Receivers of superstep-0 messages are the DAG arc destinations;
     # vertex v receives in_degree(v) messages and forwards each to its
     # out_degree(v) higher neighbours: wedge count = sum in*out.
+    step_start = tel.now()
     s1_sent = index.total_wedges
     enq1 = (
         np.bincount(dag_dst, weights=wedges_per_arc, minlength=n).astype(
@@ -158,19 +230,51 @@ def bsp_count_triangles(
     )
     message_hist.append(s1_sent)
     active_hist.append(s0_receivers)
+    if tel.enabled:
+        tel.add_span(
+            "superstep", step_start, tel.now(), category="superstep",
+            superstep=1, active=s0_receivers, sent=s1_sent,
+            received=s0_sent,
+        )
+        tel.counter("messages_sent", s1_sent, superstep=1)
 
     # --- superstep 2: closure check m ∈ Neighbors(v); hits notify m.
     # Each wedge is one message (payload u = m, destination w); a hit
     # notifies the minimum corner m.
+    step_start = tel.now()
     per_vertex = np.zeros(n, dtype=np.int64)
     total_triangles = 0
-    for u, _centre, _w, hit in iter_closed_wedges(
-        index, batch_size=WEDGE_BATCH
-    ):
-        closed = int(np.count_nonzero(hit))
-        total_triangles += closed
-        if closed:
-            per_vertex += np.bincount(u[hit], minlength=n)
+    if num_workers is not None and num_workers > 1 and s1_sent:
+        # Sharded closure scan: disjoint contiguous out-arc ranges
+        # partition the wedge set; integer merges keep the count and
+        # histogram bit-identical to the serial scan.
+        method = "fork" if "fork" in get_all_start_methods() else "spawn"
+        ranges = _arc_ranges(index, num_workers)
+        with get_context(method).Pool(
+            processes=num_workers, initializer=_scan_init, initargs=(index,)
+        ) as pool:
+            for wkr, (closed, hist, busy_ns) in enumerate(
+                pool.imap(_scan_arc_range, ranges)
+            ):
+                total_triangles += closed
+                per_vertex += hist
+                if tel.enabled:
+                    t_recv = tel.now()
+                    tel.add_span(
+                        "scan", max(step_start, t_recv - busy_ns), t_recv,
+                        category="worker", track=worker_track(wkr),
+                        superstep=2, worker=wkr,
+                        arcs=int(ranges[wkr][1] - ranges[wkr][0]),
+                        closed=int(closed),
+                    )
+    else:
+        for u, _centre, _w, hit in iter_closed_wedges(
+            index, batch_size=WEDGE_BATCH
+        ):
+            closed = int(np.count_nonzero(hit))
+            total_triangles += closed
+            if closed:
+                per_vertex += np.bincount(u[hit], minlength=n)
 
     s1_receivers = int(np.count_nonzero(enq1))
     s2_sent = total_triangles                     # found-notifications
@@ -188,10 +292,18 @@ def bsp_count_triangles(
     )
     message_hist.append(s2_sent)
     active_hist.append(s1_receivers)
+    if tel.enabled:
+        tel.add_span(
+            "superstep", step_start, tel.now(), category="superstep",
+            superstep=2, active=s1_receivers, sent=s2_sent,
+            received=s1_sent,
+        )
+        tel.counter("messages_sent", s2_sent, superstep=2)
 
     # --- drain superstep: deliver the notifications.
     num_supersteps = 3
     if s2_sent:
+        step_start = tel.now()
         s2_receivers = int(np.count_nonzero(per_vertex))
         record_superstep(
             tracer, superstep=3, active=s2_receivers, received=s2_sent,
@@ -200,6 +312,13 @@ def bsp_count_triangles(
         message_hist.append(0)
         active_hist.append(s2_receivers)
         num_supersteps = 4
+        if tel.enabled:
+            tel.add_span(
+                "superstep", step_start, tel.now(), category="superstep",
+                superstep=3, active=s2_receivers, sent=0,
+                received=s2_sent,
+            )
+            tel.counter("messages_sent", 0, superstep=3)
 
     return BSPTriangleResult(
         total_triangles=total_triangles,

@@ -11,6 +11,11 @@ Renders each of the paper's experiments as ASCII tables::
     python -m repro.cli graph500          # validated batch BFS + TEPS
     python -m repro.cli verify            # executable claim scorecard
     python -m repro.cli all               # everything
+    python -m repro.cli profile ...       # wall-clock telemetry profiling
+
+``profile`` is its own subcommand (see :mod:`repro.telemetry.profile`):
+it runs one algorithm with telemetry enabled and writes a Chrome trace
+plus a measured-vs-modeled report.
 
 Options: ``--scale N`` (default 14), ``--seed S``, ``--paper-scale``
 (render the processor sweeps with work extrapolated to the paper's
@@ -310,6 +315,11 @@ def collect_results(config: ExperimentConfig) -> dict:
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro.cli`` / ``repro-experiments``."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "profile":
+        from repro.telemetry.profile import main as profile_main
+
+        return profile_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce the paper's figures and table.",

@@ -86,7 +86,10 @@ def build_wedge_index(dag: CSRGraph) -> WedgeIndex:
 
 
 def iter_closed_wedges(
-    index: WedgeIndex, *, batch_size: int = WEDGE_BATCH
+    index: WedgeIndex,
+    *,
+    batch_size: int = WEDGE_BATCH,
+    arc_range: tuple[int, int] | None = None,
 ) -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
     """Enumerate wedges in batches with their closure verdicts.
 
@@ -96,6 +99,12 @@ def iter_closed_wedges(
     into a triangle.  Batches cover the out-arcs in CSR order and are
     sized to roughly ``batch_size`` wedges (always at least one arc, so
     a single pathological hub cannot stall progress).
+
+    ``arc_range=(lo, hi)`` restricts enumeration to the half-open
+    out-arc interval ``[lo, hi)``.  Because each wedge belongs to
+    exactly one out-arc, a partition of ``[0, num_arcs)`` into disjoint
+    ranges partitions the wedge set — the basis of the sharded closure
+    scan in :func:`repro.bsp_algorithms.triangles.bsp_count_triangles`.
     """
     dag_src = index.dag_src
     dag_dst = index.dag_dst
@@ -105,13 +114,21 @@ def iter_closed_wedges(
     wedges_per_arc = index.wedges_per_arc
     n = index.num_vertices
 
+    if arc_range is None:
+        arc_lo, arc_end = 0, int(dag_dst.size)
+    else:
+        arc_lo, arc_end = int(arc_range[0]), int(arc_range[1])
+        if not 0 <= arc_lo <= arc_end <= dag_dst.size:
+            raise ValueError(
+                f"arc_range {arc_range!r} outside [0, {dag_dst.size}]"
+            )
+
     arc_starts = np.concatenate([[0], np.cumsum(wedges_per_arc)])
-    arc_lo = 0
-    while arc_lo < dag_dst.size:
+    while arc_lo < arc_end:
         arc_hi = int(
             np.searchsorted(arc_starts, arc_starts[arc_lo] + batch_size, "right")
         ) - 1
-        arc_hi = max(arc_hi, arc_lo + 1)
+        arc_hi = min(max(arc_hi, arc_lo + 1), arc_end)
         sel = slice(arc_lo, arc_hi)
         counts = wedges_per_arc[sel]
         if counts.sum():

@@ -27,12 +27,18 @@ from repro.graphct.pagerank import pagerank
 from repro.graphct.sssp import sssp
 from repro.graphct.st_connectivity import st_connectivity
 from repro.graphct.triangles import clustering_coefficients, count_triangles
+from repro.telemetry.core import NULL_TELEMETRY, Telemetry
 
 __all__ = ["GraphCT"]
 
 
 class GraphCT:
     """A graph analysis workflow over one read-only graph.
+
+    Pass a :class:`~repro.telemetry.core.Telemetry` to time every kernel
+    execution: each cache-miss dispatch records one
+    ``"graphct/<kernel>"`` wall-clock span (cache hits cost no span —
+    they do no work).
 
     Example
     -------
@@ -58,10 +64,13 @@ class GraphCT:
         "label_propagation_communities": label_propagation_communities,
     }
 
-    def __init__(self, graph: CSRGraph):
+    def __init__(
+        self, graph: CSRGraph, *, telemetry: Telemetry | None = None
+    ):
         if not isinstance(graph, CSRGraph):
             raise TypeError("GraphCT requires a CSRGraph")
         self.graph = graph
+        self.telemetry = NULL_TELEMETRY if telemetry is None else telemetry
         self._cache: dict[tuple, Any] = {}
 
     # ------------------------------------------------------------------
@@ -89,7 +98,10 @@ class GraphCT:
             ) from None
         key = (kernel, args, tuple(sorted(kwargs.items())))
         if key not in self._cache:
-            self._cache[key] = fn(self.graph, *args, **kwargs)
+            with self.telemetry.span(
+                f"graphct/{kernel}", category="kernel", kernel=kernel
+            ):
+                self._cache[key] = fn(self.graph, *args, **kwargs)
         return self._cache[key]
 
     def __getattr__(self, name: str):

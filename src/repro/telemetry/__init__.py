@@ -1,0 +1,65 @@
+"""Runtime telemetry: measured wall-clock observability for the engines.
+
+The rest of the library models what a Cray XMT *would* do; this package
+measures what the host actually *did*.  A :class:`Telemetry` object
+threads through the BSP engines (reference, dense, sharded) and the
+GraphCT workflow, recording wall-clock spans (superstep, scatter,
+gather, combine, barrier, kernel) and counter samples (active vertices,
+messages, bytes moved, per-worker busy/wait), and exports them as a
+Chrome trace (Perfetto-loadable) or a structured JSON report.
+:mod:`~repro.telemetry.compare` joins the measured spans with the
+modeled :class:`~repro.xmt.trace.WorkTrace` regions by superstep index,
+so measured-vs-modeled ratios are first-class.
+
+Engines default to :data:`NULL_TELEMETRY`, the no-op twin — the
+disabled path records nothing, reads no clock, and leaves results and
+modeled traces bit-identical.
+
+The ``repro profile`` CLI subcommand (:mod:`repro.telemetry.profile`)
+runs any algorithm on any engine with telemetry on and writes the trace
+plus a measured-vs-modeled summary; see ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.telemetry.compare import (
+    SpanCorrelation,
+    correlate,
+    format_measured_vs_modeled,
+    measured_vs_modeled,
+)
+from repro.telemetry.core import (
+    MAIN_TRACK,
+    NULL_TELEMETRY,
+    CounterSample,
+    NullTelemetry,
+    Span,
+    Telemetry,
+    worker_track,
+)
+from repro.telemetry.export import (
+    CHROME_TRACE_PID,
+    REPORT_FORMAT_VERSION,
+    chrome_trace,
+    save_chrome_trace,
+    save_report,
+    telemetry_report,
+)
+
+__all__ = [
+    "CHROME_TRACE_PID",
+    "MAIN_TRACK",
+    "NULL_TELEMETRY",
+    "REPORT_FORMAT_VERSION",
+    "CounterSample",
+    "NullTelemetry",
+    "Span",
+    "SpanCorrelation",
+    "Telemetry",
+    "chrome_trace",
+    "correlate",
+    "format_measured_vs_modeled",
+    "measured_vs_modeled",
+    "save_chrome_trace",
+    "save_report",
+    "telemetry_report",
+    "worker_track",
+]

@@ -1,0 +1,174 @@
+"""Measured-vs-modeled correlation: spans against work-trace regions.
+
+The paper's argument is an accounting argument — the modeled
+:class:`~repro.xmt.trace.WorkTrace` attributes the BSP gap to message
+traffic and hotspot depth.  Telemetry adds the measured side: each
+``"superstep"`` span carries the superstep index, and every region of
+the modeled trace carries the same index, so the two series join
+exactly.  :func:`correlate` produces one :class:`SpanCorrelation` per
+measured superstep span — the span, the modeled regions it corresponds
+to, and the modeled seconds those regions cost on a chosen
+:class:`~repro.xmt.machine.XMTMachine` — making measured/modeled ratios
+first-class instead of a benchmark afterthought.
+
+The caveat (spelled out in ``docs/OBSERVABILITY.md``): measured seconds
+are host-Python wall time, modeled seconds are simulated Cray XMT time.
+The *ratio series shape* across supersteps is comparable; the absolute
+ratio is a property of the host, not of the algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.telemetry.core import MAIN_TRACK, Span, Telemetry
+from repro.xmt.cost_model import simulate
+from repro.xmt.machine import XMTMachine
+from repro.xmt.trace import RegionTrace, WorkTrace
+
+__all__ = [
+    "SpanCorrelation",
+    "correlate",
+    "format_measured_vs_modeled",
+    "measured_vs_modeled",
+]
+
+
+@dataclass(frozen=True)
+class SpanCorrelation:
+    """One measured span joined with its modeled regions."""
+
+    span: Span
+    #: Modeled regions with the span's iteration/superstep index.
+    regions: tuple[RegionTrace, ...]
+    #: Wall-clock seconds the span measured.
+    measured_seconds: float
+    #: Simulated seconds of the matching regions on the chosen machine.
+    modeled_seconds: float
+
+    @property
+    def superstep(self) -> int:
+        """Superstep index shared by the span and its regions."""
+        return self.span.superstep
+
+    @property
+    def ratio(self) -> float | None:
+        """measured / modeled, or ``None`` when the model priced zero."""
+        if self.modeled_seconds <= 0.0:
+            return None
+        return self.measured_seconds / self.modeled_seconds
+
+
+def correlate(
+    telemetry: Telemetry,
+    trace: WorkTrace,
+    machine: XMTMachine,
+    *,
+    span_name: str = "superstep",
+) -> list[SpanCorrelation]:
+    """Join measured spans with modeled regions by superstep index.
+
+    Takes the main-track spans named ``span_name`` (the engines emit one
+    per superstep), groups the trace's regions by their ``iteration``
+    field, prices each group on ``machine``, and returns the joined rows
+    in superstep order.  Spans without matching regions (or vice versa)
+    still appear, with the missing side empty/zero — a visible seam
+    beats a silent drop.
+    """
+    sim = simulate(trace, machine)
+    modeled_seconds: dict[int, float] = sim.seconds_by_iteration()
+    regions_by_iter: dict[int, list[RegionTrace]] = {}
+    for region in trace:
+        if region.iteration >= 0:
+            regions_by_iter.setdefault(region.iteration, []).append(region)
+
+    spans = {
+        s.superstep: s
+        for s in telemetry.spans_named(span_name, track=MAIN_TRACK)
+        if s.superstep >= 0
+    }
+    rows = []
+    for superstep in sorted(set(spans) | set(regions_by_iter)):
+        span = spans.get(superstep)
+        if span is None:
+            span = Span(
+                span_name, 0, 0, category="missing", superstep=superstep
+            )
+        rows.append(
+            SpanCorrelation(
+                span=span,
+                regions=tuple(regions_by_iter.get(superstep, ())),
+                measured_seconds=span.duration_seconds,
+                modeled_seconds=modeled_seconds.get(superstep, 0.0),
+            )
+        )
+    return rows
+
+
+def measured_vs_modeled(
+    telemetry: Telemetry,
+    trace: WorkTrace,
+    machine: XMTMachine,
+    *,
+    span_name: str = "superstep",
+) -> list[dict]:
+    """JSON-friendly measured-vs-modeled rows, one per superstep.
+
+    Each row carries the superstep index, the measured wall seconds, the
+    modeled seconds at ``machine.num_processors``, their ratio, and the
+    span's annotations (active vertices, messages) when present.
+    """
+    rows = []
+    for corr in correlate(telemetry, trace, machine, span_name=span_name):
+        row = {
+            "superstep": corr.superstep,
+            "measured_seconds": corr.measured_seconds,
+            "modeled_seconds": corr.modeled_seconds,
+            "ratio": corr.ratio,
+            "modeled_regions": len(corr.regions),
+        }
+        for key in ("active", "sent", "received"):
+            if key in corr.span.args:
+                row[key] = corr.span.args[key]
+        rows.append(row)
+    return rows
+
+
+def format_measured_vs_modeled(
+    rows: list[dict], *, processors: int, title: str = ""
+) -> str:
+    """ASCII table of :func:`measured_vs_modeled` rows plus totals."""
+    header = (
+        f"{'step':>4} {'active':>9} {'sent':>11} "
+        f"{'measured':>11} {'modeled@' + str(processors) + 'P':>12} "
+        f"{'meas/model':>10}"
+    )
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(header)
+    lines.append("-" * len(header))
+    total_measured = 0.0
+    total_modeled = 0.0
+    for row in rows:
+        total_measured += row["measured_seconds"]
+        total_modeled += row["modeled_seconds"]
+        ratio = row["ratio"]
+        lines.append(
+            f"{row['superstep']:>4} "
+            f"{row.get('active', '-'):>9} "
+            f"{row.get('sent', '-'):>11} "
+            f"{row['measured_seconds'] * 1e3:>9.3f}ms "
+            f"{row['modeled_seconds'] * 1e3:>10.3f}ms "
+            f"{('%.2f' % ratio) if ratio is not None else '-':>10}"
+        )
+    lines.append("-" * len(header))
+    overall = (
+        f"{total_measured / total_modeled:.2f}" if total_modeled > 0 else "-"
+    )
+    lines.append(
+        f"{'all':>4} {'':>9} {'':>11} "
+        f"{total_measured * 1e3:>9.3f}ms {total_modeled * 1e3:>10.3f}ms "
+        f"{overall:>10}"
+    )
+    return "\n".join(lines)

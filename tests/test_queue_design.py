@@ -58,6 +58,17 @@ class TestRewriting:
         with pytest.raises(ValueError, match="design"):
             with_queue_design(bsp_trace, "lockfree", DEFAULT_COSTS)
 
+    def test_zero_enqueue_writes_rejected(self, bsp_trace):
+        # With message_enqueue_writes == 0 the traced writes cannot
+        # encode message counts, so the rewrite would silently no-op.
+        import dataclasses
+
+        free_costs = dataclasses.replace(
+            DEFAULT_COSTS, message_enqueue_writes=0.0
+        )
+        with pytest.raises(ValueError, match="message_enqueue_writes"):
+            with_queue_design(bsp_trace, "single-tail", free_costs)
+
     def test_label_annotated(self, bsp_trace):
         out = with_queue_design(bsp_trace, "chunked", DEFAULT_COSTS)
         assert "[chunked]" in out.label
