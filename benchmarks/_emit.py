@@ -6,14 +6,27 @@ archive reproduced paper numbers without scraping stdout.  The default
 output directory is ``results/bench`` (override with the
 ``REPRO_BENCH_OUT`` environment variable).
 
-The payload layout is::
+The payload layout (schema v2) is::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "benchmark": "<name>",
-      "config": {...},   # workload parameters (scale, seed, ...)
-      "data": {...}      # reproduced numbers (the extra_info dict)
+      "config": {...},       # workload parameters (scale, seed, ...)
+      "data": {...},         # reproduced numbers (the extra_info dict)
+      "memory": {...},       # peak RSS of the emitting process
+      "provenance": {...}    # git SHA/branch, UTC time, machine
+                             # fingerprint, package version
     }
+
+Provenance is stamped at emission time (see
+:func:`repro.bench.ledger.collect_provenance`) so that ``repro bench
+record`` can append the payload to the history ledger with full run
+attribution even when recording happens later, on another machine.
+
+Payloads are strict JSON: non-finite floats (``NaN``/``Inf``) are
+sanitized to ``null`` before writing, and ``json.dump`` runs with
+``allow_nan=False`` so a regression here fails loudly instead of
+emitting tokens strict parsers reject.
 
 Benchmarks are wired through this module automatically by the autouse
 fixture in ``conftest.py``; a benchmark that needs a custom payload can
@@ -22,25 +35,37 @@ autouse fixture skips names already emitted this session).
 """
 
 import json
+import math
 import os
 
 import numpy as np
 
+from repro.bench.ledger import collect_provenance, sanitize
+from repro.telemetry.core import peak_rss_bytes
+
 __all__ = ["SCHEMA_VERSION", "emit_bench"]
 
 #: Bump on breaking changes to the BENCH_*.json payload layout.
-SCHEMA_VERSION = 1
+#: v2: added ``provenance`` and ``memory`` blocks, strict-JSON floats.
+SCHEMA_VERSION = 2
 
 #: Names explicitly emitted this session (autouse fixture skips these).
 _EMITTED: set = set()
 
 
 def _jsonable(obj):
-    """Recursively convert numpy scalars/arrays for ``json.dump``."""
+    """Recursively convert numpy scalars/arrays for ``json.dump``.
+
+    Non-finite floats become ``None``: the standard JSON grammar has no
+    ``NaN``/``Infinity`` tokens, and the history ledger (plus any strict
+    parser) must be able to read every payload back.
+    """
     if isinstance(obj, np.ndarray):
-        return obj.tolist()
+        return _jsonable(obj.tolist())
     if isinstance(obj, np.generic):
-        return obj.item()
+        return _jsonable(obj.item())
+    if isinstance(obj, float) and not math.isfinite(obj):
+        return None
     if isinstance(obj, dict):
         return {str(k): _jsonable(v) for k, v in obj.items()}
     if isinstance(obj, (list, tuple)):
@@ -53,20 +78,24 @@ def emit_bench(name, *, config=None, data=None, path=None):
 
     ``config`` describes the workload (scale, seed, ...); ``data``
     carries the reproduced numbers.  ``path`` overrides the default
-    ``$REPRO_BENCH_OUT/BENCH_<name>.json`` location.
+    ``$REPRO_BENCH_OUT/BENCH_<name>.json`` location.  The payload is
+    stamped with run provenance and the emitting process's peak RSS.
     """
     out_dir = os.environ.get("REPRO_BENCH_OUT", "results/bench")
     if path is None:
         path = os.path.join(out_dir, f"BENCH_{name}.json")
     os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    rss = peak_rss_bytes()
     payload = {
         "schema_version": SCHEMA_VERSION,
         "benchmark": name,
         "config": _jsonable(config or {}),
         "data": _jsonable(data or {}),
+        "memory": {"peak_rss_bytes": rss} if rss is not None else {},
+        "provenance": sanitize(collect_provenance()),
     }
     with open(path, "w", encoding="ascii") as fh:
-        json.dump(payload, fh, indent=1, default=float)
+        json.dump(payload, fh, indent=1, default=float, allow_nan=False)
         fh.write("\n")
     _EMITTED.add(name)
     return path

@@ -1,0 +1,190 @@
+"""Rolling statistical baselines over the benchmark history.
+
+Every ledger record's ``data`` block flattens into dotted metric paths
+(``timing.mean_s``, ``seconds.dense``, ``supersteps``...).  Each metric
+is classified into one of three kinds, because they fail differently:
+
+* ``"noisy"`` — wall-clock and memory measurements.  These scatter from
+  run to run, so the baseline is a **median + MAD** (median absolute
+  deviation) over the last *K* runs **on the same machine fingerprint
+  and workload config**, and the gate only flags values outside a
+  noise-scaled band.
+* ``"exact"`` — deterministic model counters: modeled XMT cycles,
+  message counts, superstep counts, triangle totals.  These are
+  machine-independent (any same-config run must reproduce them bit for
+  bit), so the baseline is simply the most recent prior value and *any*
+  drift is a correctness bug, not noise.
+* ``"info"`` — machine facts (core counts, worker lists) that describe
+  the environment rather than measure the code; never gated.
+
+Classification is by name first (``timing.``, ``*_s``, ``*_ns``,
+``rss``, ``speedup``... are noisy; ``host_cores``... are info) and by
+value second: remaining metrics are exact only when every observed
+value is integral, so an unrecognized float measurement degrades to the
+noise-tolerant path instead of a hair-trigger exact gate.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.bench.ledger import Record
+
+__all__ = [
+    "MAD_TO_SIGMA",
+    "Baseline",
+    "classify_metric",
+    "comparable_records",
+    "compute_baseline",
+    "flatten_metrics",
+    "higher_is_better",
+]
+
+#: Scale factor making the MAD a consistent estimator of a normal
+#: distribution's standard deviation.
+MAD_TO_SIGMA = 1.4826
+
+#: Name fragments that mark a measured (noisy, threshold-gated) metric.
+_NOISY = re.compile(
+    r"(^|[._])(timing|seconds|speedup|elapsed|wall)([._]|$)"
+    r"|_s$|_ns$|_seconds$|_ms$"
+    r"|rss|tracemalloc|memory"
+)
+
+#: Name fragments for environment facts that are never gated.
+_INFO = re.compile(
+    r"(^|[._])(host_cores|cpu_count|cores|worker_counts|hostname|rounds)"
+    r"([._]|$)"
+)
+
+#: Metrics where larger is better (speedups, rates); everything else
+#: noisy is treated as a cost where larger is worse.
+_HIGHER_IS_BETTER = re.compile(r"speedup|teps|throughput")
+
+
+def flatten_metrics(data: dict, prefix: str = "") -> dict[str, float]:
+    """Flatten a BENCH ``data`` block into dotted numeric metric paths.
+
+    Nested dictionaries contribute their keys as path segments; lists
+    contribute element indices.  Strings, booleans, and ``None`` leaves
+    are dropped — only numbers are metrics.
+    """
+    out: dict[str, float] = {}
+    if isinstance(data, dict):
+        items = ((str(k), v) for k, v in data.items())
+    elif isinstance(data, (list, tuple)):
+        items = ((str(i), v) for i, v in enumerate(data))
+    else:
+        return out
+    for key, value in items:
+        path = f"{prefix}.{key}" if prefix else key
+        if isinstance(value, bool) or value is None:
+            continue
+        if isinstance(value, (int, float)):
+            out[path] = float(value)
+        elif isinstance(value, (dict, list, tuple)):
+            out.update(flatten_metrics(value, path))
+    return out
+
+
+def classify_metric(path: str, values: list[float]) -> str:
+    """``"noisy"``, ``"exact"``, or ``"info"`` for one metric path."""
+    if _INFO.search(path):
+        return "info"
+    if _NOISY.search(path):
+        return "noisy"
+    if all(float(v).is_integer() for v in values):
+        return "exact"
+    return "noisy"
+
+
+def higher_is_better(path: str) -> bool:
+    """True when a larger value of this noisy metric is the good side."""
+    return bool(_HIGHER_IS_BETTER.search(path))
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """Rolling statistics of one metric over comparable history runs."""
+
+    metric: str
+    kind: str
+    #: Historical values, oldest first (already windowed to K).
+    values: tuple = field(default_factory=tuple)
+
+    @property
+    def count(self) -> int:
+        """Number of baseline observations."""
+        return len(self.values)
+
+    @property
+    def median(self) -> float | None:
+        """Median of the baseline window, ``None`` when empty."""
+        return _median(list(self.values)) if self.values else None
+
+    @property
+    def mad(self) -> float | None:
+        """Median absolute deviation around the median."""
+        if not self.values:
+            return None
+        med = self.median
+        return _median([abs(v - med) for v in self.values])
+
+    @property
+    def sigma(self) -> float | None:
+        """MAD scaled to a normal-equivalent standard deviation."""
+        mad = self.mad
+        return None if mad is None else mad * MAD_TO_SIGMA
+
+    @property
+    def last(self) -> float | None:
+        """Most recent baseline value (the exact-gate reference)."""
+        return self.values[-1] if self.values else None
+
+
+def comparable_records(
+    history: list[Record],
+    config: dict,
+    *,
+    fingerprint: str | None = None,
+) -> list[Record]:
+    """History runs statistically comparable to a new run.
+
+    Always requires an equal workload ``config`` (a scale-10 run says
+    nothing about a scale-14 baseline); additionally requires the same
+    machine ``fingerprint`` when one is given (wall-clock comparisons).
+    """
+    out = []
+    for rec in history:
+        if rec.config != config:
+            continue
+        if fingerprint is not None and rec.fingerprint != fingerprint:
+            continue
+        out.append(rec)
+    return out
+
+
+def compute_baseline(
+    metric: str,
+    kind: str,
+    records: list[Record],
+    *,
+    window: int = 8,
+) -> Baseline:
+    """Baseline for one metric over the last ``window`` comparable runs."""
+    values = []
+    for rec in records:
+        flat = flatten_metrics(rec.data)
+        if metric in flat:
+            values.append(flat[metric])
+    return Baseline(metric=metric, kind=kind, values=tuple(values[-window:]))

@@ -1,0 +1,239 @@
+"""The ``repro bench`` subcommand family: record, report, compare, gate.
+
+Routed from :mod:`repro.cli`::
+
+    python -m repro.cli bench record            # ingest BENCH_*.json
+    python -m repro.cli bench report            # per-benchmark trends
+    python -m repro.cli bench compare engine_modes
+    python -m repro.cli bench gate              # exit 1 on regression
+
+``record`` ingests the latest ``results/bench/BENCH_<name>.json``
+artifacts (or explicit paths) into the append-only history ledger,
+stamping provenance when a payload predates schema v2.  ``report``
+renders per-benchmark trend tables with sparklines.  ``compare`` diffs
+two recorded runs of one benchmark.  ``gate`` judges the newest run of
+every benchmark against its rolling baseline and exits nonzero when any
+metric regressed — wall-clock metrics by a noise-aware median+MAD band,
+deterministic model counters by exact match.  See
+``docs/BENCHMARKS.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import os
+
+from repro.bench.gate import (
+    DEFAULT_MIN_RUNS,
+    DEFAULT_REL_MARGIN,
+    DEFAULT_SIGMAS,
+    DEFAULT_WINDOW,
+    gate_ledger,
+)
+from repro.bench.ledger import Ledger, history_dir
+from repro.bench.render import (
+    compare_table,
+    format_gate_reports,
+    trend_table,
+)
+
+__all__ = ["main"]
+
+
+def _add_history_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--history", default=None, metavar="DIR",
+        help=(
+            "ledger directory (default $REPRO_HISTORY_DIR or "
+            "results/history)"
+        ),
+    )
+
+
+def _add_gate_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--window", type=int, default=DEFAULT_WINDOW,
+        help="rolling baseline window in runs",
+    )
+    parser.add_argument(
+        "--min-runs", type=int, default=DEFAULT_MIN_RUNS,
+        help="same-machine runs required before gating a noisy metric",
+    )
+    parser.add_argument(
+        "--sigmas", type=float, default=DEFAULT_SIGMAS,
+        help="noise band half-width in MAD-derived standard deviations",
+    )
+    parser.add_argument(
+        "--rel-margin", type=float, default=DEFAULT_REL_MARGIN,
+        help="minimum fractional deviation from the median to flag",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description=(
+            "Benchmark history ledger: record runs, render trends, "
+            "diff runs, gate regressions."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_record = sub.add_parser(
+        "record", help="append BENCH_*.json payloads to the ledger"
+    )
+    p_record.add_argument(
+        "paths", nargs="*",
+        help=(
+            "payload files to ingest (default: every BENCH_*.json under "
+            "--from-dir)"
+        ),
+    )
+    p_record.add_argument(
+        "--from-dir", default=None, metavar="DIR",
+        help=(
+            "directory scanned for BENCH_*.json when no paths are given "
+            "(default $REPRO_BENCH_OUT or results/bench)"
+        ),
+    )
+    _add_history_arg(p_record)
+
+    p_report = sub.add_parser(
+        "report", help="per-benchmark trend tables with sparklines"
+    )
+    p_report.add_argument(
+        "benchmarks", nargs="*",
+        help="benchmark names (default: every benchmark in the ledger)",
+    )
+    p_report.add_argument(
+        "--width", type=int, default=24, help="sparkline width in runs"
+    )
+    _add_history_arg(p_report)
+
+    p_compare = sub.add_parser(
+        "compare", help="diff two recorded runs of one benchmark"
+    )
+    p_compare.add_argument("benchmark")
+    p_compare.add_argument(
+        "--a", type=int, default=-2, metavar="INDEX",
+        help="reference run index into the history (default -2)",
+    )
+    p_compare.add_argument(
+        "--b", type=int, default=-1, metavar="INDEX",
+        help="candidate run index into the history (default -1, latest)",
+    )
+    _add_history_arg(p_compare)
+
+    p_gate = sub.add_parser(
+        "gate",
+        help="judge the newest runs against baselines; exit 1 on regression",
+    )
+    p_gate.add_argument(
+        "benchmarks", nargs="*",
+        help="benchmark names (default: every benchmark in the ledger)",
+    )
+    p_gate.add_argument(
+        "--verbose", action="store_true",
+        help="also print passing metrics",
+    )
+    _add_history_arg(p_gate)
+    _add_gate_args(p_gate)
+    return parser
+
+
+def _cmd_record(args) -> int:
+    ledger = Ledger(args.history)
+    paths = list(args.paths)
+    if not paths:
+        src = args.from_dir or os.environ.get(
+            "REPRO_BENCH_OUT", os.path.join("results", "bench")
+        )
+        paths = sorted(glob.glob(os.path.join(src, "BENCH_*.json")))
+    if not paths:
+        print("no BENCH_*.json payloads found; nothing recorded")
+        return 1
+    for path in paths:
+        rec = ledger.record_file(path)
+        sha = str(rec.git_sha or "?")[:12]
+        print(
+            f"recorded {rec.benchmark} @ {sha} "
+            f"[{rec.fingerprint}] -> {ledger.path(rec.benchmark)}"
+        )
+    return 0
+
+
+def _cmd_report(args) -> int:
+    ledger = Ledger(args.history)
+    names = args.benchmarks or ledger.benchmarks()
+    if not names:
+        print(f"no benchmarks recorded under {ledger.root}")
+        return 1
+    tables = [
+        trend_table(name, ledger.records(name), width=args.width)
+        for name in names
+    ]
+    print("\n\n".join(tables))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    ledger = Ledger(args.history)
+    records = ledger.records(args.benchmark)
+    if len(records) < 2:
+        print(
+            f"{args.benchmark}: need at least 2 recorded runs to compare, "
+            f"have {len(records)}"
+        )
+        return 1
+    try:
+        a, b = records[args.a], records[args.b]
+    except IndexError:
+        print(
+            f"{args.benchmark}: run index out of range "
+            f"(history holds {len(records)} run(s))"
+        )
+        return 1
+    print(compare_table(a, b))
+    return 0
+
+
+def _cmd_gate(args) -> int:
+    ledger = Ledger(args.history)
+    reports = gate_ledger(
+        ledger,
+        args.benchmarks or None,
+        window=args.window,
+        min_runs=args.min_runs,
+        sigmas=args.sigmas,
+        rel_margin=args.rel_margin,
+    )
+    print(format_gate_reports(reports, verbose=args.verbose))
+    return 0 if all(r.ok for r in reports) else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro.cli bench ...``."""
+    args = _build_parser().parse_args(argv)
+    handler = {
+        "record": _cmd_record,
+        "report": _cmd_report,
+        "compare": _cmd_compare,
+        "gate": _cmd_gate,
+    }[args.command]
+    try:
+        return handler(args)
+    except BrokenPipeError:
+        # ``bench report | head`` closes stdout early; exit quietly
+        # (and point stdout at devnull so interpreter shutdown doesn't
+        # trip over the closed pipe again).
+        import sys
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

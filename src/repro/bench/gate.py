@@ -1,0 +1,235 @@
+"""Regression gating: judge each new benchmark run against its history.
+
+For every metric of the newest ledger record the gate produces one
+:class:`MetricVerdict`:
+
+* ``ok`` — within the baseline's noise band (noisy) or bit-identical to
+  the prior value (exact);
+* ``improved`` — outside the band on the good side;
+* ``regressed`` — outside the band on the bad side, or *any* drift of a
+  deterministic model counter (modeled cycles, message counts,
+  superstep counts — those cannot move without a code-behavior change);
+* ``new`` — not enough comparable history to gate yet (fewer than
+  ``min_runs`` same-fingerprint runs for noisy metrics, no prior
+  same-config run for exact metrics);
+* ``skipped`` — environment facts (``info`` kind) that are never gated.
+
+The noisy threshold is noise-aware: a run regresses only when it lands
+more than ``sigmas`` MAD-derived standard deviations *and* more than
+``rel_margin`` (fractional) away from the rolling median, so a
+dead-stable series doesn't flag on scheduler jitter and a noisy series
+doesn't flag inside its own historical scatter.
+
+:func:`gate_ledger` applies this to every benchmark in a ledger and is
+what ``repro bench gate`` (and CI) calls; any ``regressed`` verdict
+makes the overall gate fail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.baseline import (
+    Baseline,
+    classify_metric,
+    comparable_records,
+    compute_baseline,
+    flatten_metrics,
+    higher_is_better,
+)
+from repro.bench.ledger import Ledger, Record
+
+__all__ = [
+    "GateReport",
+    "MetricVerdict",
+    "evaluate_record",
+    "gate_ledger",
+]
+
+#: Default rolling-window length (runs) for noisy baselines.
+DEFAULT_WINDOW = 8
+
+#: Same-fingerprint runs required before a noisy metric is gated.
+DEFAULT_MIN_RUNS = 3
+
+#: Band half-width in MAD-derived standard deviations.
+DEFAULT_SIGMAS = 4.0
+
+#: Minimum fractional deviation from the median to flag at all.
+DEFAULT_REL_MARGIN = 0.10
+
+
+@dataclass(frozen=True)
+class MetricVerdict:
+    """Gate outcome for one metric of one run."""
+
+    metric: str
+    kind: str
+    status: str
+    value: float
+    baseline: Baseline
+    #: Human-readable one-liner explaining the status.
+    detail: str = ""
+
+    @property
+    def regressed(self) -> bool:
+        """True when this metric fails the gate."""
+        return self.status == "regressed"
+
+
+@dataclass
+class GateReport:
+    """All verdicts for one gated run (or one whole ledger)."""
+
+    benchmark: str
+    verdicts: list[MetricVerdict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no metric regressed."""
+        return not any(v.regressed for v in self.verdicts)
+
+    @property
+    def regressions(self) -> list[MetricVerdict]:
+        """The failing verdicts."""
+        return [v for v in self.verdicts if v.regressed]
+
+    def counts(self) -> dict[str, int]:
+        """Status histogram (``{"ok": 12, "regressed": 1, ...}``)."""
+        out: dict[str, int] = {}
+        for v in self.verdicts:
+            out[v.status] = out.get(v.status, 0) + 1
+        return out
+
+
+def _noisy_verdict(
+    metric: str,
+    value: float,
+    baseline: Baseline,
+    *,
+    min_runs: int,
+    sigmas: float,
+    rel_margin: float,
+) -> MetricVerdict:
+    if baseline.count < min_runs:
+        return MetricVerdict(
+            metric, "noisy", "new", value, baseline,
+            f"only {baseline.count} comparable run(s), need {min_runs}",
+        )
+    median = baseline.median
+    band = max(sigmas * baseline.sigma, rel_margin * abs(median))
+    delta = value - median
+    if abs(delta) <= band or median == value:
+        status, detail = "ok", ""
+    else:
+        worse = delta > 0
+        if higher_is_better(metric):
+            worse = not worse
+        status = "regressed" if worse else "improved"
+        pct = (delta / median * 100.0) if median else float("inf")
+        detail = (
+            f"{value:g} vs median {median:g} "
+            f"({pct:+.1f}%, band +/-{band:g})"
+        )
+    return MetricVerdict(metric, "noisy", status, value, baseline, detail)
+
+
+def _exact_verdict(
+    metric: str, value: float, baseline: Baseline
+) -> MetricVerdict:
+    if baseline.count == 0:
+        return MetricVerdict(
+            metric, "exact", "new", value, baseline, "no prior run"
+        )
+    prior = baseline.last
+    if value == prior:
+        return MetricVerdict(metric, "exact", "ok", value, baseline)
+    return MetricVerdict(
+        metric, "exact", "regressed", value, baseline,
+        f"deterministic counter drifted: {prior:g} -> {value:g} "
+        f"(drift here is a correctness bug, not noise)",
+    )
+
+
+def evaluate_record(
+    record: Record,
+    history: list[Record],
+    *,
+    window: int = DEFAULT_WINDOW,
+    min_runs: int = DEFAULT_MIN_RUNS,
+    sigmas: float = DEFAULT_SIGMAS,
+    rel_margin: float = DEFAULT_REL_MARGIN,
+) -> GateReport:
+    """Judge one run against its prior history (newest run excluded).
+
+    ``history`` is the benchmark's prior record list; an entry that *is*
+    ``record`` is ignored so the run under test never baselines itself.
+    """
+    prior = [rec for rec in history if rec is not record]
+    metrics = flatten_metrics(record.data)
+    same_machine = comparable_records(
+        prior, record.config, fingerprint=record.fingerprint
+    )
+    same_config = comparable_records(prior, record.config)
+
+    report = GateReport(benchmark=record.benchmark)
+    for metric in sorted(metrics):
+        value = metrics[metric]
+        observed = [value] + [
+            flatten_metrics(r.data)[metric]
+            for r in same_config
+            if metric in flatten_metrics(r.data)
+        ]
+        kind = classify_metric(metric, observed)
+        if kind == "info":
+            report.verdicts.append(
+                MetricVerdict(
+                    metric, "info", "skipped", value,
+                    Baseline(metric, "info"), "environment fact",
+                )
+            )
+        elif kind == "exact":
+            baseline = compute_baseline(
+                metric, kind, same_config, window=window
+            )
+            report.verdicts.append(_exact_verdict(metric, value, baseline))
+        else:
+            baseline = compute_baseline(
+                metric, kind, same_machine, window=window
+            )
+            report.verdicts.append(
+                _noisy_verdict(
+                    metric, value, baseline,
+                    min_runs=min_runs, sigmas=sigmas, rel_margin=rel_margin,
+                )
+            )
+    return report
+
+
+def gate_ledger(
+    ledger: Ledger,
+    benchmarks: list[str] | None = None,
+    *,
+    window: int = DEFAULT_WINDOW,
+    min_runs: int = DEFAULT_MIN_RUNS,
+    sigmas: float = DEFAULT_SIGMAS,
+    rel_margin: float = DEFAULT_REL_MARGIN,
+) -> list[GateReport]:
+    """Gate the newest run of each benchmark in the ledger."""
+    names = benchmarks if benchmarks else ledger.benchmarks()
+    reports = []
+    for name in names:
+        records = ledger.records(name)
+        if not records:
+            continue
+        reports.append(
+            evaluate_record(
+                records[-1],
+                records[:-1],
+                window=window,
+                min_runs=min_runs,
+                sigmas=sigmas,
+                rel_margin=rel_margin,
+            )
+        )
+    return reports

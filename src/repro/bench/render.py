@@ -1,0 +1,178 @@
+"""ASCII rendering of the benchmark history: trends, gates, diffs.
+
+Everything here returns plain strings — same convention as
+:mod:`repro.analysis.report` — so the ``repro bench`` subcommands can
+print to any terminal and tests can assert on substrings.  Sparklines
+use a pure-ASCII ramp (``_.:-=+*#%@``) rather than Unicode blocks, to
+match the rest of the repository's ASCII-only output.
+"""
+
+from __future__ import annotations
+
+from repro.bench.baseline import classify_metric, flatten_metrics
+from repro.bench.gate import GateReport
+from repro.bench.ledger import Record
+
+__all__ = [
+    "compare_table",
+    "format_gate_reports",
+    "sparkline",
+    "trend_table",
+]
+
+#: Low-to-high ASCII luminance ramp for sparklines.
+SPARK_RAMP = "_.:-=+*#%@"
+
+
+def sparkline(values: list[float], width: int = 24) -> str:
+    """Render a numeric series as a fixed-ramp ASCII sparkline.
+
+    The last ``width`` values are scaled into the ramp between the
+    series minimum and maximum; a flat series renders as a flat line of
+    midpoints.  Non-finite values render as ``?``.
+    """
+    tail = list(values)[-width:]
+    if not tail:
+        return ""
+    finite = [v for v in tail if v == v and abs(v) != float("inf")]
+    if not finite:
+        return "?" * len(tail)
+    lo, hi = min(finite), max(finite)
+    span = hi - lo
+    out = []
+    for v in tail:
+        if v != v or abs(v) == float("inf"):
+            out.append("?")
+        elif span == 0:
+            out.append(SPARK_RAMP[len(SPARK_RAMP) // 2])
+        else:
+            idx = int((v - lo) / span * (len(SPARK_RAMP) - 1))
+            out.append(SPARK_RAMP[idx])
+    return "".join(out)
+
+
+def _fmt(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return f"{int(value):,}"
+    return f"{value:.4g}"
+
+
+def trend_table(
+    benchmark: str, records: list[Record], *, width: int = 24
+) -> str:
+    """Per-metric trend of one benchmark over its recorded history.
+
+    One row per metric: kind, latest value, rolling median, the delta
+    of the latest run against that median, and a sparkline of the
+    series (oldest to newest, last ``width`` runs).
+    """
+    if not records:
+        return f"{benchmark}: no recorded runs"
+    series: dict[str, list[float]] = {}
+    for rec in records:
+        for path, value in flatten_metrics(rec.data).items():
+            series.setdefault(path, []).append(value)
+    latest = flatten_metrics(records[-1].data)
+
+    sha = records[-1].provenance.get("git_sha") or "?"
+    head = (
+        f"{benchmark}: {len(records)} run(s), latest "
+        f"{records[-1].provenance.get('timestamp_utc', '?')} "
+        f"@ {str(sha)[:12]}"
+    )
+    name_w = max(len("metric"), *(len(p) for p in series))
+    header = (
+        f"{'metric':<{name_w}} {'kind':<5} {'latest':>12} "
+        f"{'median':>12} {'delta':>8}  trend"
+    )
+    lines = [head, header, "-" * len(header)]
+    for path in sorted(series):
+        values = series[path]
+        kind = classify_metric(path, values)
+        med = sorted(values)[len(values) // 2]
+        value = latest.get(path)
+        if value is None or med == 0:
+            delta = "-"
+        else:
+            delta = f"{(value - med) / abs(med) * 100.0:+.1f}%"
+        lines.append(
+            f"{path:<{name_w}} {kind:<5} {_fmt(value):>12} "
+            f"{_fmt(med):>12} {delta:>8}  {sparkline(values, width)}"
+        )
+    return "\n".join(lines)
+
+
+_STATUS_TAG = {
+    "ok": "OK ",
+    "improved": "IMP",
+    "regressed": "REG",
+    "new": "NEW",
+    "skipped": "-- ",
+}
+
+
+def format_gate_reports(
+    reports: list[GateReport], *, verbose: bool = False
+) -> str:
+    """Render gate verdicts: summary per benchmark, detail on failures.
+
+    Non-``ok`` verdicts always print; passing metrics print only with
+    ``verbose``.  Ends with an overall PASS/FAIL line.
+    """
+    lines = []
+    failed = False
+    for report in reports:
+        counts = report.counts()
+        summary = ", ".join(
+            f"{counts[k]} {k}" for k in sorted(counts) if counts[k]
+        )
+        lines.append(f"{report.benchmark}: {summary}")
+        for v in report.verdicts:
+            if v.status == "ok" and not verbose:
+                continue
+            if v.status == "skipped" and not verbose:
+                continue
+            tag = _STATUS_TAG.get(v.status, "?  ")
+            detail = f"  ({v.detail})" if v.detail else ""
+            lines.append(
+                f"  [{tag}] {v.metric} = {_fmt(v.value)} [{v.kind}]{detail}"
+            )
+        failed = failed or not report.ok
+    if not reports:
+        lines.append("no benchmarks recorded; nothing to gate")
+    lines.append(f"gate: {'FAIL' if failed else 'PASS'}")
+    return "\n".join(lines)
+
+
+def compare_table(a: Record, b: Record) -> str:
+    """Metric-by-metric diff of two runs of the same benchmark.
+
+    ``a`` is the reference (older) run, ``b`` the candidate; rows show
+    both values and the relative change.  Metrics present in only one
+    run render with a ``-`` on the missing side.
+    """
+    fa, fb = flatten_metrics(a.data), flatten_metrics(b.data)
+    paths = sorted(set(fa) | set(fb))
+    name_w = max(len("metric"), *(len(p) for p in paths)) if paths else 6
+
+    def _sha(rec: Record) -> str:
+        return str(rec.provenance.get("git_sha") or "?")[:12]
+
+    head = (
+        f"{a.benchmark}: {_sha(a)} ({a.provenance.get('timestamp_utc', '?')})"
+        f" -> {_sha(b)} ({b.provenance.get('timestamp_utc', '?')})"
+    )
+    header = f"{'metric':<{name_w}} {'a':>14} {'b':>14} {'change':>9}"
+    lines = [head, header, "-" * len(header)]
+    for path in paths:
+        va, vb = fa.get(path), fb.get(path)
+        if va is None or vb is None or va == 0:
+            change = "-"
+        else:
+            change = f"{(vb - va) / abs(va) * 100.0:+.1f}%"
+        lines.append(
+            f"{path:<{name_w}} {_fmt(va):>14} {_fmt(vb):>14} {change:>9}"
+        )
+    return "\n".join(lines)

@@ -447,6 +447,7 @@ class DenseBSPEngine:
                 tel.counter(
                     "messages_received", int(received), superstep=superstep
                 )
+                tel.sample_memory(superstep=superstep)
 
             senders = new_senders
             superstep += 1

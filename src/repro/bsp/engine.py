@@ -276,6 +276,7 @@ class BSPEngine:
                 tel.counter(
                     "messages_received", int(received), superstep=superstep
                 )
+                tel.sample_memory(superstep=superstep)
 
             inbox = self.outbox
             superstep += 1

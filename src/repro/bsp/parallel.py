@@ -62,7 +62,7 @@ from repro.cluster.partition import (
     shard_indices,
 )
 from repro.graph.csr import CSRGraph
-from repro.telemetry.core import Telemetry, worker_track
+from repro.telemetry.core import Telemetry, peak_rss_bytes, worker_track
 from repro.xmt.calibration import DEFAULT_COSTS, KernelCosts
 
 __all__ = [
@@ -190,11 +190,12 @@ def _worker_main(conn, spec: dict) -> None:
             cmd = msg[0]
             if cmd == "close":
                 return
-            # Busy time (recv-to-reply) rides as the last element of
-            # every "ok" reply, so the parent's telemetry can draw
-            # per-worker rows and barrier-wait skew without a second
-            # round trip.  The nanosecond read costs ~100ns per task —
-            # negligible against any superstep's work.
+            # Busy time (recv-to-reply) and the worker's peak RSS ride
+            # as the last two elements of every "ok" reply, so the
+            # parent's telemetry can draw per-worker rows, barrier-wait
+            # skew, and per-worker memory without a second round trip.
+            # The nanosecond read and the getrusage call together cost
+            # ~1us per task — negligible against any superstep's work.
             t_busy = time.perf_counter_ns()
             try:
                 if cmd == "run":
@@ -216,12 +217,23 @@ def _worker_main(conn, spec: dict) -> None:
                     )
                     mask = dst = None
                     generation = -1
-                    conn.send(("ok", time.perf_counter_ns() - t_busy))
+                    conn.send(
+                        (
+                            "ok",
+                            time.perf_counter_ns() - t_busy,
+                            peak_rss_bytes() or 0,
+                        )
+                    )
                 elif cmd == "scatter":
                     _, gen, senders = msg
                     refresh_scatter(gen, senders)
                     conn.send(
-                        ("ok", int(dst.size), time.perf_counter_ns() - t_busy)
+                        (
+                            "ok",
+                            int(dst.size),
+                            time.perf_counter_ns() - t_busy,
+                            peak_rss_bytes() or 0,
+                        )
                     )
                 elif cmd == "gather":
                     _, gen, senders = msg
@@ -240,6 +252,7 @@ def _worker_main(conn, spec: dict) -> None:
                             int(dst.size),
                             hist_fresh,
                             time.perf_counter_ns() - t_busy,
+                            peak_rss_bytes() or 0,
                         )
                     )
                 else:
@@ -434,9 +447,10 @@ class ShardedBSPEngine(DenseBSPEngine):
         is recorded as one ``"barrier"`` span on the main track plus a
         per-worker busy span on each worker's track (anchored to end at
         the parent's receive, with the duration the worker measured),
-        and per-worker busy/wait counters.  Wait time is the barrier
-        window minus the worker's busy time — the skew the balanced
-        partition policies exist to shrink.
+        and per-worker busy/wait/peak-RSS counters.  Wait time is the
+        barrier window minus the worker's busy time — the skew the
+        balanced partition policies exist to shrink.  Workers append
+        ``(busy_ns, peak_rss_bytes)`` to every "ok" reply.
         """
         tel = self.telemetry
         record = tel.enabled and phase is not None
@@ -457,7 +471,7 @@ class ShardedBSPEngine(DenseBSPEngine):
                 replies[w] = reply
                 if record:
                     t_recv = tel.now()
-                    busy = int(reply[-1])
+                    busy = int(reply[-2])
                     tel.add_span(
                         phase,
                         t_recv - busy,
@@ -486,7 +500,7 @@ class ShardedBSPEngine(DenseBSPEngine):
                 workers=len(tasks),
             )
             for w, reply in replies.items():
-                busy = int(reply[-1])
+                busy = int(reply[-2])
                 tel.counter(
                     "worker_busy_ns",
                     busy,
@@ -499,6 +513,14 @@ class ShardedBSPEngine(DenseBSPEngine):
                     track=worker_track(w),
                     superstep=self._tel_superstep,
                 )
+                rss = int(reply[-1])
+                if rss:
+                    tel.counter(
+                        "worker_peak_rss_bytes",
+                        rss,
+                        track=worker_track(w),
+                        superstep=self._tel_superstep,
+                    )
         return replies
 
     def _split(self, vertices: np.ndarray) -> list[np.ndarray]:

@@ -12,10 +12,16 @@ Renders each of the paper's experiments as ASCII tables::
     python -m repro.cli verify            # executable claim scorecard
     python -m repro.cli all               # everything
     python -m repro.cli profile ...       # wall-clock telemetry profiling
+    python -m repro.cli bench ...         # benchmark history + regression gate
+    python -m repro.cli version           # exact package version
 
 ``profile`` is its own subcommand (see :mod:`repro.telemetry.profile`):
 it runs one algorithm with telemetry enabled and writes a Chrome trace
-plus a measured-vs-modeled report.
+plus a measured-vs-modeled report.  ``bench`` (see :mod:`repro.bench.cli`)
+records benchmark runs into the append-only history ledger, renders
+trends, and gates regressions.  ``version`` (also ``--version``) prints
+the installed package version, so ledger provenance and bug reports can
+cite an exact release.
 
 Options: ``--scale N`` (default 14), ``--seed S``, ``--paper-scale``
 (render the processor sweeps with work extrapolated to the paper's
@@ -320,6 +326,15 @@ def main(argv: list[str] | None = None) -> int:
         from repro.telemetry.profile import main as profile_main
 
         return profile_main(argv[1:])
+    if argv and argv[0] == "bench":
+        from repro.bench.cli import main as bench_main
+
+        return bench_main(argv[1:])
+    if argv and argv[0] in ("version", "--version"):
+        from repro.bench.ledger import package_version
+
+        print(f"repro {package_version()}")
+        return 0
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce the paper's figures and table.",

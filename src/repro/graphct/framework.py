@@ -102,6 +102,8 @@ class GraphCT:
                 f"graphct/{kernel}", category="kernel", kernel=kernel
             ):
                 self._cache[key] = fn(self.graph, *args, **kwargs)
+            if self.telemetry.enabled:
+                self.telemetry.sample_memory()
         return self._cache[key]
 
     def __getattr__(self, name: str):

@@ -33,12 +33,15 @@ from repro.telemetry.core import (
     NullTelemetry,
     Span,
     Telemetry,
+    peak_rss_bytes,
+    tracemalloc_peak_bytes,
     worker_track,
 )
 from repro.telemetry.export import (
     CHROME_TRACE_PID,
     REPORT_FORMAT_VERSION,
     chrome_trace,
+    memory_summary,
     save_chrome_trace,
     save_report,
     telemetry_report,
@@ -58,8 +61,11 @@ __all__ = [
     "correlate",
     "format_measured_vs_modeled",
     "measured_vs_modeled",
+    "memory_summary",
+    "peak_rss_bytes",
     "save_chrome_trace",
     "save_report",
     "telemetry_report",
+    "tracemalloc_peak_bytes",
     "worker_track",
 ]

@@ -20,7 +20,9 @@ equivalence guard in ``tests/test_telemetry.py``).
 
 from __future__ import annotations
 
+import sys
 import time
+import tracemalloc
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
@@ -32,6 +34,8 @@ __all__ = [
     "NullTelemetry",
     "Span",
     "Telemetry",
+    "peak_rss_bytes",
+    "tracemalloc_peak_bytes",
     "worker_track",
 ]
 
@@ -42,6 +46,39 @@ MAIN_TRACK = 0
 def worker_track(worker_index: int) -> int:
     """Track id for shard worker ``worker_index``."""
     return int(worker_index) + 1
+
+
+def peak_rss_bytes() -> int | None:
+    """Lifetime peak resident-set size of this process, in bytes.
+
+    Read from ``getrusage`` — one cheap syscall, no allocation.  The
+    value is monotone (the OS never lowers the high-water mark), so a
+    per-superstep sample series shows *when* the peak was first reached.
+    Returns ``None`` on platforms without ``resource`` (Windows).
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX host
+        return None
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is kilobytes on Linux, bytes on macOS.
+    return int(rss) * (1 if sys.platform == "darwin" else 1024)
+
+
+def tracemalloc_peak_bytes(*, reset: bool = False) -> int | None:
+    """Peak Python-heap allocation since tracing (or the last reset).
+
+    Returns ``None`` unless :mod:`tracemalloc` is tracing — callers opt
+    into the tracing overhead explicitly (``repro profile`` does).
+    With ``reset``, the peak accumulator restarts so the next reading
+    covers only the interval since this one (per-superstep peaks).
+    """
+    if not tracemalloc.is_tracing():
+        return None
+    _, peak = tracemalloc.get_traced_memory()
+    if reset:
+        tracemalloc.reset_peak()
+    return int(peak)
 
 
 @dataclass(frozen=True)
@@ -205,6 +242,33 @@ class Telemetry:
             )
         )
 
+    def sample_memory(
+        self, *, track: int = MAIN_TRACK, superstep: int = -1
+    ) -> None:
+        """Record the process memory footprint as counter samples.
+
+        Emits ``peak_rss_bytes`` (always, one syscall) and
+        ``tracemalloc_peak_bytes`` (only while :mod:`tracemalloc` is
+        tracing — the tracemalloc peak accumulator is reset so each
+        sample covers the interval since the previous one).  Engines
+        call this once per superstep / kernel inside their
+        ``telemetry.enabled`` branch, so the disabled path never pays
+        for it.
+        """
+        rss = peak_rss_bytes()
+        if rss is not None:
+            self.counter(
+                "peak_rss_bytes", rss, track=track, superstep=superstep
+            )
+        heap = tracemalloc_peak_bytes(reset=True)
+        if heap is not None:
+            self.counter(
+                "tracemalloc_peak_bytes",
+                heap,
+                track=track,
+                superstep=superstep,
+            )
+
     # -- queries -------------------------------------------------------
     def spans_named(self, name: str, *, track: int | None = None) -> list[Span]:
         """Spans with a given name (optionally restricted to one track)."""
@@ -307,6 +371,9 @@ class NullTelemetry:
 
     def counter(self, *args: Any, **kwargs: Any) -> None:
         """Drop the sample."""
+
+    def sample_memory(self, *args: Any, **kwargs: Any) -> None:
+        """No memory reads on the disabled path."""
 
     def spans_named(self, name: str, **kwargs: Any) -> list:
         """Always empty."""

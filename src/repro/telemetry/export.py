@@ -27,6 +27,7 @@ __all__ = [
     "CHROME_TRACE_PID",
     "REPORT_FORMAT_VERSION",
     "chrome_trace",
+    "memory_summary",
     "save_chrome_trace",
     "save_report",
     "telemetry_report",
@@ -129,6 +130,30 @@ def chrome_trace(telemetry: Telemetry) -> dict:
     }
 
 
+def memory_summary(telemetry: Telemetry) -> dict:
+    """Peak memory footprint derived from the memory counter samples.
+
+    Returns ``peak_rss_bytes`` / ``tracemalloc_peak_bytes`` maxima over
+    the main track (``tracemalloc_peak_bytes`` samples are per-interval
+    peaks, so the overall peak is their maximum) and a
+    ``worker_peak_rss_bytes`` map for shard workers.  Empty dict when no
+    memory samples were recorded (telemetry off, or an engine predating
+    the memory hooks).
+    """
+    out: dict = {}
+    workers: dict[str, int] = {}
+    for c in telemetry.counters:
+        if c.name in ("peak_rss_bytes", "tracemalloc_peak_bytes"):
+            if c.track == MAIN_TRACK:
+                out[c.name] = max(out.get(c.name, 0), int(c.value))
+        elif c.name == "worker_peak_rss_bytes":
+            key = str(c.track - 1)
+            workers[key] = max(workers.get(key, 0), int(c.value))
+    if workers:
+        out["worker_peak_rss_bytes"] = workers
+    return out
+
+
 def telemetry_report(telemetry: Telemetry) -> dict:
     """Schema-versioned structured dump of spans, counters, and summary."""
     return {
@@ -157,6 +182,7 @@ def telemetry_report(telemetry: Telemetry) -> dict:
             for c in telemetry.counters
         ],
         "span_summary": telemetry.span_summary(),
+        "memory": memory_summary(telemetry),
     }
 
 

@@ -6,7 +6,10 @@ enabled, then writes three artifacts:
 * a Chrome trace-event file (``--trace``) loadable in Perfetto or
   ``chrome://tracing``, with one row per worker for the sharded engine;
 * a schema-versioned JSON report (``--json``) embedding every span,
-  counter sample, and the measured-vs-modeled correlation rows;
+  counter sample, the measured-vs-modeled correlation rows, and the
+  peak memory footprint (RSS plus per-superstep ``tracemalloc`` peaks —
+  tracing is on by default here; disable with ``--no-tracemalloc`` to
+  measure wall time without the tracing overhead);
 * an ASCII measured-vs-modeled table per superstep on stdout.
 
 Example::
@@ -20,6 +23,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import tracemalloc
 
 from repro.graph.generators import rmat
 from repro.graph.properties import giant_component_vertex
@@ -28,7 +32,11 @@ from repro.telemetry.compare import (
     measured_vs_modeled,
 )
 from repro.telemetry.core import Telemetry
-from repro.telemetry.export import chrome_trace, telemetry_report
+from repro.telemetry.export import (
+    chrome_trace,
+    memory_summary,
+    telemetry_report,
+)
 from repro.xmt.machine import XMTMachine
 
 __all__ = ["main", "run_profile"]
@@ -181,24 +189,40 @@ def main(argv: list[str] | None = None) -> int:
         "--json", default=None,
         help="report path (default <out-dir>/profile_<run>.json)",
     )
+    parser.add_argument(
+        "--no-tracemalloc", dest="tracemalloc", action="store_false",
+        help=(
+            "skip Python-heap peak tracking (tracemalloc slows the run; "
+            "disable it when wall-clock numbers matter more than "
+            "allocation peaks)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     label = f"{args.algorithm}-{args.engine}"
     if args.engine == "sharded":
         label += f"-w{args.workers}"
     tel = Telemetry(label=label)
-    trace, meta = run_profile(
-        args.algorithm,
-        args.engine,
-        scale=args.scale,
-        edge_factor=args.edge_factor,
-        seed=args.seed,
-        workers=args.workers,
-        partition=args.partition,
-        source=args.source,
-        k=args.k,
-        telemetry=tel,
-    )
+    started_tracing = False
+    if args.tracemalloc and not tracemalloc.is_tracing():
+        tracemalloc.start()
+        started_tracing = True
+    try:
+        trace, meta = run_profile(
+            args.algorithm,
+            args.engine,
+            scale=args.scale,
+            edge_factor=args.edge_factor,
+            seed=args.seed,
+            workers=args.workers,
+            partition=args.partition,
+            source=args.source,
+            k=args.k,
+            telemetry=tel,
+        )
+    finally:
+        if started_tracing:
+            tracemalloc.stop()
 
     machine = XMTMachine(num_processors=args.processors)
     rows = measured_vs_modeled(tel, trace, machine)
@@ -227,6 +251,7 @@ def main(argv: list[str] | None = None) -> int:
         },
         "run": meta,
         "measured_vs_modeled": rows,
+        "memory": memory_summary(tel),
         "telemetry": telemetry_report(tel),
     }
     with open(json_path, "w", encoding="ascii") as fh:
@@ -243,6 +268,17 @@ def main(argv: list[str] | None = None) -> int:
             ),
         )
     )
+    mem = payload["memory"]
+    if mem:
+        parts = [
+            f"{name}: {mem[name] / 2**20:.1f} MiB"
+            for name in ("peak_rss_bytes", "tracemalloc_peak_bytes")
+            if name in mem
+        ]
+        if "worker_peak_rss_bytes" in mem:
+            worst = max(mem["worker_peak_rss_bytes"].values())
+            parts.append(f"worker peak RSS: {worst / 2**20:.1f} MiB")
+        print("\nmemory  " + " | ".join(parts))
     print(f"\nChrome trace: {trace_path}  (open in Perfetto)")
     print(f"JSON report:  {json_path}")
     return 0

@@ -1,0 +1,471 @@
+"""Tests for the benchmark history ledger and regression gate.
+
+Covers provenance stamping, the append-only JSONL store, metric
+flattening and classification, median+MAD baselines, the gate's
+ok/improved/regressed/new verdicts (including the two acceptance
+scenarios: a synthetic 2x slowdown and a drifted deterministic
+counter), the ASCII renderings, the ``repro bench`` CLI, and the
+strict-JSON sanitization of ``benchmarks/_emit.py``.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench import (
+    Baseline,
+    Ledger,
+    Record,
+    classify_metric,
+    collect_provenance,
+    compare_table,
+    evaluate_record,
+    fingerprint_of,
+    flatten_metrics,
+    format_gate_reports,
+    gate_ledger,
+    sanitize,
+    sparkline,
+    trend_table,
+)
+from repro.cli import main as cli_main
+
+
+def _payload(mean_s=1.0, supersteps=9, messages=12345, *, rss=50_000_000,
+             fingerprint="aaaa00000000", scale=10):
+    """A synthetic BENCH payload with controllable knobs."""
+    return {
+        "schema_version": 2,
+        "benchmark": "engine_modes",
+        "config": {"algorithm": "cc", "scale": scale, "seed": 1},
+        "data": {
+            "supersteps": supersteps,
+            "messages": messages,
+            "timing": {"mean_s": mean_s},
+        },
+        "memory": {"peak_rss_bytes": rss},
+        "provenance": {
+            "git_sha": "deadbeef" * 5,
+            "git_branch": "main",
+            "timestamp_utc": "2026-08-06T00:00:00+00:00",
+            "hostname": "host-a",
+            "cpu_count": 8,
+            "fingerprint": fingerprint,
+        },
+    }
+
+
+def _seed(ledger, means=(1.0, 1.02, 0.98, 1.01), **kwargs):
+    """Record a stable baseline history into ``ledger``."""
+    for m in means:
+        ledger.append(_payload(mean_s=m, **kwargs))
+
+
+@pytest.fixture
+def ledger(tmp_path):
+    return Ledger(str(tmp_path / "history"))
+
+
+# ---------------------------------------------------------------------
+# Provenance
+# ---------------------------------------------------------------------
+class TestProvenance:
+    def test_carries_git_and_fingerprint(self):
+        prov = collect_provenance()
+        # This test runs inside the repository checkout.
+        assert prov["git_sha"] and len(prov["git_sha"]) == 40
+        assert prov["git_branch"]
+        assert prov["fingerprint"] == fingerprint_of(
+            prov["hostname"], prov["cpu_count"], prov["machine"],
+            prov["python"],
+        )
+        assert prov["timestamp_utc"].endswith("+00:00")
+        assert prov["repro_version"]
+
+    def test_fingerprint_is_stable_and_discriminating(self):
+        a = fingerprint_of("h", 8, "x86_64", "3.11.1")
+        assert a == fingerprint_of("h", 8, "x86_64", "3.11.1")
+        assert a != fingerprint_of("h", 4, "x86_64", "3.11.1")
+
+    def test_append_stamps_missing_provenance(self, ledger):
+        doc = _payload()
+        doc.pop("provenance")
+        rec = ledger.append(doc)
+        assert rec.git_sha and rec.fingerprint
+        (stored,) = ledger.records("engine_modes")
+        assert stored.git_sha == rec.git_sha
+
+
+# ---------------------------------------------------------------------
+# Ledger store
+# ---------------------------------------------------------------------
+class TestLedger:
+    def test_append_only_jsonl(self, ledger):
+        _seed(ledger)
+        path = Path(ledger.path("engine_modes"))
+        assert path.suffix == ".jsonl"
+        lines = path.read_text().splitlines()
+        assert len(lines) == 4
+        for line in lines:
+            doc = json.loads(line)
+            assert doc["benchmark"] == "engine_modes"
+            assert doc["provenance"]["fingerprint"]
+        assert ledger.benchmarks() == ["engine_modes"]
+        records = ledger.records("engine_modes")
+        assert [
+            r.data["timing"]["mean_s"] for r in records
+        ] == [1.0, 1.02, 0.98, 1.01]
+
+    def test_memory_block_folds_into_data(self, ledger):
+        ledger.append(_payload(rss=123456789))
+        (rec,) = ledger.records("engine_modes")
+        assert rec.data["memory"]["peak_rss_bytes"] == 123456789
+        assert "memory.peak_rss_bytes" in flatten_metrics(rec.data)
+
+    def test_nonfinite_floats_sanitized(self, ledger):
+        doc = _payload()
+        doc["data"]["ratio"] = float("nan")
+        doc["data"]["worst"] = float("inf")
+        ledger.append(doc)
+        raw = Path(ledger.path("engine_modes")).read_text()
+        assert "NaN" not in raw and "Infinity" not in raw
+        parsed = json.loads(
+            raw, parse_constant=lambda c: pytest.fail(f"token {c}")
+        )
+        assert parsed["data"]["ratio"] is None
+
+    def test_nameless_record_rejected(self, ledger):
+        with pytest.raises(ValueError, match="benchmark name"):
+            ledger.append({"config": {}, "data": {"x": 1}})
+
+    def test_sanitize_helper(self):
+        out = sanitize({"a": [1.0, float("nan")], "b": float("-inf")})
+        assert out == {"a": [1.0, None], "b": None}
+
+
+# ---------------------------------------------------------------------
+# Metric flattening and classification
+# ---------------------------------------------------------------------
+class TestMetrics:
+    def test_flatten_nested(self):
+        flat = flatten_metrics(
+            {"timing": {"mean_s": 0.5}, "seconds": {"cc": {"2": 1.5}},
+             "n": 7, "name": "x", "flag": True, "series": [1, 2]}
+        )
+        assert flat == {
+            "timing.mean_s": 0.5,
+            "seconds.cc.2": 1.5,
+            "n": 7.0,
+            "series.0": 1.0,
+            "series.1": 2.0,
+        }
+
+    @pytest.mark.parametrize(
+        "path,values,kind",
+        [
+            ("timing.mean_s", [0.5], "noisy"),
+            ("seconds.dense", [1.0], "noisy"),
+            ("speedup", [25.0], "noisy"),
+            ("memory.peak_rss_bytes", [5e7], "noisy"),
+            ("worker_busy_ns", [100.0], "noisy"),
+            ("supersteps", [9.0], "exact"),
+            ("messages", [12345.0], "exact"),
+            ("modeled_cycles", [1e9], "exact"),
+            ("write_ratio", [181.4], "noisy"),  # non-integral float
+            ("host_cores", [8.0], "info"),
+            ("timing.rounds", [1.0], "info"),
+        ],
+    )
+    def test_classification(self, path, values, kind):
+        assert classify_metric(path, values) == kind
+
+    def test_baseline_median_and_mad(self):
+        base = Baseline("m", "noisy", values=(1.0, 1.2, 0.8, 1.1, 0.9))
+        assert base.median == pytest.approx(1.0)
+        assert base.mad == pytest.approx(0.1)
+        assert base.sigma == pytest.approx(0.14826)
+        assert base.last == 0.9
+        assert Baseline("m", "noisy").median is None
+
+
+# ---------------------------------------------------------------------
+# The gate
+# ---------------------------------------------------------------------
+class TestGate:
+    def test_clean_history_passes(self, ledger):
+        _seed(ledger)
+        ledger.append(_payload(mean_s=1.03))
+        (report,) = gate_ledger(ledger)
+        assert report.ok
+        statuses = {v.metric: v.status for v in report.verdicts}
+        assert statuses["timing.mean_s"] == "ok"
+        assert statuses["supersteps"] == "ok"
+
+    def test_two_x_slowdown_regresses(self, ledger):
+        _seed(ledger)
+        ledger.append(_payload(mean_s=2.0))
+        (report,) = gate_ledger(ledger)
+        assert not report.ok
+        (reg,) = report.regressions
+        assert reg.metric == "timing.mean_s"
+        assert "median" in reg.detail
+
+    def test_improvement_is_not_a_failure(self, ledger):
+        _seed(ledger)
+        ledger.append(_payload(mean_s=0.5))
+        (report,) = gate_ledger(ledger)
+        assert report.ok
+        statuses = {v.metric: v.status for v in report.verdicts}
+        assert statuses["timing.mean_s"] == "improved"
+
+    def test_deterministic_counter_drift_regresses(self, ledger):
+        _seed(ledger)
+        ledger.append(_payload(mean_s=1.0, supersteps=10))
+        (report,) = gate_ledger(ledger)
+        assert not report.ok
+        (reg,) = report.regressions
+        assert reg.metric == "supersteps" and reg.kind == "exact"
+        assert "correctness" in reg.detail
+
+    def test_deterministic_gate_ignores_fingerprint(self, ledger):
+        # One prior run on another machine still pins exact counters...
+        ledger.append(_payload(fingerprint="bbbb11111111"))
+        ledger.append(_payload(mean_s=55.0, messages=99))
+        (report,) = gate_ledger(ledger)
+        statuses = {v.metric: v.status for v in report.verdicts}
+        assert statuses["messages"] == "regressed"
+        # ...while the wildly different timing stays ungated (only one
+        # cross-machine run, below min_runs on this fingerprint).
+        assert statuses["timing.mean_s"] == "new"
+
+    def test_noisy_gate_requires_same_config(self, ledger):
+        _seed(ledger, scale=14)
+        ledger.append(_payload(mean_s=9.9, supersteps=13, scale=10))
+        (report,) = gate_ledger(ledger)
+        assert report.ok  # different workload: nothing comparable
+        assert all(
+            v.status in ("new", "skipped") for v in report.verdicts
+        )
+
+    def test_noise_band_scales_with_history_scatter(self, ledger):
+        # A noisy series (scatter ~0.4) must tolerate a value that a
+        # dead-stable series would flag.
+        _seed(ledger, means=(1.0, 1.4, 0.7, 1.3, 0.8))
+        ledger.append(_payload(mean_s=1.6))
+        (report,) = gate_ledger(ledger)
+        assert report.ok
+
+    def test_evaluate_record_excludes_self(self, ledger):
+        _seed(ledger)
+        records = ledger.records("engine_modes")
+        report = evaluate_record(records[-1], records[:-1])
+        assert {v.metric for v in report.verdicts} >= {
+            "timing.mean_s", "supersteps", "messages",
+        }
+
+
+# ---------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------
+class TestRender:
+    def test_sparkline_shape(self):
+        line = sparkline([1.0, 2.0, 3.0], width=8)
+        assert len(line) == 3
+        assert line[0] == "_" and line[-1] == "@"
+        assert sparkline([5.0, 5.0]) == "++"
+        assert sparkline([]) == ""
+        assert sparkline([float("nan"), 1.0]) == "?+"
+
+    def test_trend_table_from_three_runs(self, ledger):
+        _seed(ledger, means=(1.0, 1.1, 0.9))
+        table = trend_table(
+            "engine_modes", ledger.records("engine_modes")
+        )
+        assert "3 run(s)" in table
+        assert "deadbeefdead" in table  # provenance SHA cited
+        for metric in ("timing.mean_s", "supersteps", "messages"):
+            assert metric in table
+        # Every metric row ends with a 3-column sparkline.
+        rows = [
+            line for line in table.splitlines()
+            if line.startswith("timing.mean_s")
+        ]
+        assert rows and len(rows[0].split()[-1]) == 3
+
+    def test_gate_report_rendering(self, ledger):
+        _seed(ledger)
+        ledger.append(_payload(mean_s=2.0))
+        text = format_gate_reports(gate_ledger(ledger))
+        assert "gate: FAIL" in text
+        assert "[REG] timing.mean_s" in text
+
+    def test_compare_table(self, ledger):
+        _seed(ledger, means=(1.0, 2.0))
+        a, b = ledger.records("engine_modes")
+        table = compare_table(a, b)
+        assert "timing.mean_s" in table and "+100.0%" in table
+
+
+# ---------------------------------------------------------------------
+# The bench CLI (through the top-level repro entry point)
+# ---------------------------------------------------------------------
+class TestBenchCLI:
+    def _emit_payload(self, tmp_path, **kwargs):
+        path = tmp_path / "BENCH_engine_modes.json"
+        path.write_text(json.dumps(_payload(**kwargs)))
+        return path
+
+    def test_record_report_gate_roundtrip(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv(
+            "REPRO_HISTORY_DIR", str(tmp_path / "history")
+        )
+        payload = self._emit_payload(tmp_path)
+        for mean in (1.0, 1.02, 0.98):
+            payload.write_text(json.dumps(_payload(mean_s=mean)))
+            assert cli_main(["bench", "record", str(payload)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("recorded engine_modes") == 3
+        assert "deadbeefdead" in out
+
+        assert cli_main(["bench", "report"]) == 0
+        out = capsys.readouterr().out
+        assert "engine_modes: 3 run(s)" in out
+        assert "timing.mean_s" in out
+
+        assert cli_main(["bench", "gate"]) == 0
+        assert "gate: PASS" in capsys.readouterr().out
+
+    def test_gate_exits_nonzero_on_slowdown(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv(
+            "REPRO_HISTORY_DIR", str(tmp_path / "history")
+        )
+        for mean in (1.0, 1.02, 0.98, 2.1):
+            payload = self._emit_payload(tmp_path, mean_s=mean)
+            assert cli_main(["bench", "record", str(payload)]) == 0
+        assert cli_main(["bench", "gate"]) == 1
+        assert "gate: FAIL" in capsys.readouterr().out
+
+    def test_gate_exits_nonzero_on_counter_drift(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv(
+            "REPRO_HISTORY_DIR", str(tmp_path / "history")
+        )
+        for supersteps in (9, 10):
+            payload = self._emit_payload(
+                tmp_path, supersteps=supersteps
+            )
+            assert cli_main(["bench", "record", str(payload)]) == 0
+        assert cli_main(["bench", "gate"]) == 1
+        out = capsys.readouterr().out
+        assert "[REG] supersteps" in out
+
+    def test_record_scans_bench_dir(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_HISTORY_DIR", str(tmp_path / "history")
+        )
+        self._emit_payload(tmp_path)
+        rc = cli_main(["bench", "record", "--from-dir", str(tmp_path)])
+        assert rc == 0
+        assert "recorded engine_modes" in capsys.readouterr().out
+
+    def test_record_without_payloads_fails(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv(
+            "REPRO_HISTORY_DIR", str(tmp_path / "history")
+        )
+        rc = cli_main(
+            ["bench", "record", "--from-dir", str(tmp_path / "empty")]
+        )
+        assert rc == 1
+
+    def test_compare_cli(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_HISTORY_DIR", str(tmp_path / "history")
+        )
+        for mean in (1.0, 1.5):
+            payload = self._emit_payload(tmp_path, mean_s=mean)
+            cli_main(["bench", "record", str(payload)])
+        capsys.readouterr()
+        assert cli_main(["bench", "compare", "engine_modes"]) == 0
+        assert "+50.0%" in capsys.readouterr().out
+        assert cli_main(["bench", "compare", "missing"]) == 1
+
+
+# ---------------------------------------------------------------------
+# benchmarks/_emit.py (imported from its real location)
+# ---------------------------------------------------------------------
+@pytest.fixture
+def emit_module():
+    path = (
+        Path(__file__).resolve().parents[1] / "benchmarks" / "_emit.py"
+    )
+    spec = importlib.util.spec_from_file_location("_emit_under_test", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        yield module
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+class TestEmit:
+    def test_payload_is_v2_with_provenance_and_memory(
+        self, emit_module, tmp_path
+    ):
+        out = emit_module.emit_bench(
+            "unit", config={"scale": 4}, data={"n": 3},
+            path=str(tmp_path / "BENCH_unit.json"),
+        )
+        doc = json.loads(Path(out).read_text())
+        assert doc["schema_version"] == 2
+        assert doc["provenance"]["git_sha"]
+        assert doc["provenance"]["fingerprint"]
+        assert doc["memory"]["peak_rss_bytes"] > 0
+
+    def test_nan_and_inf_sanitized(self, emit_module, tmp_path):
+        """Regression: json.dump used to emit bare NaN/Infinity tokens."""
+        import numpy as np
+
+        out = emit_module.emit_bench(
+            "unit_nan",
+            data={
+                "ratio": float("nan"),
+                "ceiling": float("inf"),
+                "arr": np.array([1.0, np.nan]),
+                "np_scalar": np.float64("-inf"),
+            },
+            path=str(tmp_path / "BENCH_unit_nan.json"),
+        )
+        raw = Path(out).read_text()
+        assert "NaN" not in raw and "Infinity" not in raw
+        doc = json.loads(
+            raw, parse_constant=lambda c: pytest.fail(f"token {c}")
+        )
+        assert doc["data"]["ratio"] is None
+        assert doc["data"]["arr"] == [1.0, None]
+        assert doc["data"]["np_scalar"] is None
+
+    def test_ledger_roundtrip_of_emitted_payload(
+        self, emit_module, tmp_path
+    ):
+        out = emit_module.emit_bench(
+            "unit_rt", config={"scale": 4},
+            data={"supersteps": 5, "timing": {"mean_s": 0.25}},
+            path=str(tmp_path / "BENCH_unit_rt.json"),
+        )
+        ledger = Ledger(str(tmp_path / "history"))
+        rec = ledger.record_file(out)
+        assert rec.git_sha and rec.fingerprint
+        flat = flatten_metrics(rec.data)
+        assert flat["supersteps"] == 5.0
+        assert flat["memory.peak_rss_bytes"] > 0

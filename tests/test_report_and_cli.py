@@ -1,5 +1,7 @@
 """Tests for ASCII report rendering and the CLI entry point."""
 
+import re
+
 import pytest
 
 from repro.analysis.report import (
@@ -66,6 +68,12 @@ class TestCLI:
     """End-to-end CLI runs at a tiny scale (kept fast)."""
 
     ARGS = ["--scale", "9", "--seed", "1"]
+
+    @pytest.mark.parametrize("flag", ["--version", "version"])
+    def test_version(self, capsys, flag):
+        assert main([flag]) == 0
+        out = capsys.readouterr().out.strip()
+        assert re.fullmatch(r"repro \d+\.\d+(\.\d+)?([a-z0-9.+-]*)?", out)
 
     def test_table1(self, capsys):
         assert main(["table1", *self.ARGS]) == 0

@@ -33,9 +33,15 @@ from repro.telemetry.core import (
     NULL_TELEMETRY,
     Span,
     Telemetry,
+    peak_rss_bytes,
+    tracemalloc_peak_bytes,
     worker_track,
 )
-from repro.telemetry.export import chrome_trace, telemetry_report
+from repro.telemetry.export import (
+    chrome_trace,
+    memory_summary,
+    telemetry_report,
+)
 from repro.xmt.machine import XMTMachine
 
 
@@ -331,6 +337,109 @@ class TestShardedLifecycle:
 
 
 # ---------------------------------------------------------------------
+# Memory footprint sampling
+# ---------------------------------------------------------------------
+class TestMemorySampling:
+    def test_peak_rss_reads_positive(self):
+        rss = peak_rss_bytes()
+        assert rss is not None and rss > 0
+
+    def test_tracemalloc_requires_tracing(self):
+        import tracemalloc
+
+        assert not tracemalloc.is_tracing()
+        assert tracemalloc_peak_bytes() is None
+        tracemalloc.start()
+        try:
+            blob = bytearray(1 << 20)
+            peak = tracemalloc_peak_bytes(reset=True)
+            assert peak is not None and peak >= len(blob)
+            del blob
+            # Re-arm after freeing: the next interval no longer
+            # includes the old megabyte peak.
+            tracemalloc_peak_bytes(reset=True)
+            assert tracemalloc_peak_bytes() < 1 << 20
+        finally:
+            tracemalloc.stop()
+
+    def test_sample_memory_records_counters(self):
+        tel = Telemetry("mem")
+        tel.sample_memory(superstep=3)
+        (c,) = [c for c in tel.counters if c.name == "peak_rss_bytes"]
+        assert c.value > 0 and c.superstep == 3 and c.track == MAIN_TRACK
+        assert not [
+            c for c in tel.counters if c.name == "tracemalloc_peak_bytes"
+        ]
+
+    def test_sample_memory_includes_heap_when_tracing(self):
+        import tracemalloc
+
+        tel = Telemetry("mem")
+        tracemalloc.start()
+        try:
+            tel.sample_memory(superstep=0)
+        finally:
+            tracemalloc.stop()
+        names = {c.name for c in tel.counters}
+        assert {"peak_rss_bytes", "tracemalloc_peak_bytes"} <= names
+
+    def test_null_telemetry_sample_memory_is_inert(self):
+        NULL_TELEMETRY.sample_memory(superstep=1)
+        assert NULL_TELEMETRY.counters == ()
+
+    @pytest.mark.parametrize(
+        "engine_cls", [BSPEngine, DenseBSPEngine]
+    )
+    def test_engines_sample_memory_per_superstep(self, graph, engine_cls):
+        tel = Telemetry("cc")
+        result = _cc_run(graph, engine_cls, telemetry=tel)
+        samples = [
+            c for c in tel.counters if c.name == "peak_rss_bytes"
+        ]
+        assert [c.superstep for c in samples] == list(
+            range(result.num_supersteps)
+        )
+        assert all(c.track == MAIN_TRACK for c in samples)
+
+    def test_sharded_engine_samples_worker_rss(self, graph):
+        tel = Telemetry("cc-sharded")
+        result = _cc_run(
+            graph, ShardedBSPEngine, telemetry=tel, num_workers=2
+        )
+        main = [c for c in tel.counters if c.name == "peak_rss_bytes"]
+        assert len(main) == result.num_supersteps
+        workers = [
+            c for c in tel.counters if c.name == "worker_peak_rss_bytes"
+        ]
+        assert {c.track for c in workers} == {
+            worker_track(0), worker_track(1),
+        }
+        assert all(c.value > 0 for c in workers)
+
+    def test_graphct_samples_on_kernel_miss_only(self, graph):
+        tel = Telemetry("wf")
+        wf = GraphCT(graph, telemetry=tel)
+        wf.connected_components()
+        n = len([c for c in tel.counters if c.name == "peak_rss_bytes"])
+        assert n == 1
+        wf.connected_components()  # cache hit: no kernel, no sample
+        assert (
+            len([c for c in tel.counters if c.name == "peak_rss_bytes"])
+            == n
+        )
+
+    def test_memory_summary_shapes(self, graph):
+        assert memory_summary(Telemetry("empty")) == {}
+        tel = Telemetry("cc-sharded")
+        _cc_run(graph, ShardedBSPEngine, telemetry=tel, num_workers=2)
+        summary = memory_summary(tel)
+        assert summary["peak_rss_bytes"] > 0
+        assert set(summary["worker_peak_rss_bytes"]) == {"0", "1"}
+        report = telemetry_report(tel)
+        assert report["memory"] == summary
+
+
+# ---------------------------------------------------------------------
 # Measured vs modeled
 # ---------------------------------------------------------------------
 class TestCorrelation:
@@ -344,6 +453,30 @@ class TestCorrelation:
         for r in rows:
             assert r.regions and r.measured_seconds > 0
             assert r.modeled_seconds > 0 and r.ratio is not None
+
+    def test_correlate_sharded_two_workers(self, graph):
+        tel = Telemetry("cc-sharded")
+        res = _cc_run(
+            graph, ShardedBSPEngine, telemetry=tel, num_workers=2
+        )
+        # The parallel barrier/combine machinery is instrumented...
+        assert tel.spans_named("barrier", track=MAIN_TRACK)
+        assert tel.spans_named("combine", track=MAIN_TRACK)
+        # ...and the join still lines up superstep for superstep: the
+        # sharded engine replays the same program, so the modeled trace
+        # correlates against measured sharded supersteps unchanged.
+        rows = correlate(tel, res.trace, XMTMachine())
+        assert [r.superstep for r in rows] == list(
+            range(res.num_supersteps)
+        )
+        for r in rows:
+            assert r.regions and r.measured_seconds > 0
+            assert r.modeled_seconds > 0 and r.ratio is not None
+        # Barrier + combine wall-clock is part of the measured superstep.
+        steps = tel.spans_named("superstep", track=MAIN_TRACK)
+        for name in ("barrier", "combine"):
+            for sp in tel.spans_named(name, track=MAIN_TRACK):
+                assert steps[sp.superstep].contains(sp)
 
     def test_missing_measured_side_is_visible(self, graph):
         res = bsp_connected_components(graph)
@@ -391,6 +524,29 @@ class TestProfileCLI:
         assert report["config"]["algorithm"] == "cc"
         assert report["measured_vs_modeled"]
         assert report["telemetry"]["spans"]
+        # Memory footprint block: tracemalloc is on by default.
+        assert report["memory"]["peak_rss_bytes"] > 0
+        assert report["memory"]["tracemalloc_peak_bytes"] > 0
+        assert "memory  peak_rss_bytes:" in out
+
+    def test_profile_no_tracemalloc_flag(self, tmp_path, capsys):
+        from repro.telemetry.profile import main
+
+        rc = main(
+            [
+                "--algorithm", "cc",
+                "--engine", "reference",
+                "--scale", "8",
+                "--no-tracemalloc",
+                "--out-dir", str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        report = json.loads(
+            (tmp_path / "profile_cc-reference.json").read_text()
+        )
+        assert report["memory"]["peak_rss_bytes"] > 0
+        assert "tracemalloc_peak_bytes" not in report["memory"]
 
     def test_profile_sharded_has_worker_rows(self, tmp_path, capsys):
         from repro.telemetry.profile import main
@@ -414,3 +570,9 @@ class TestProfileCLI:
             if e["ph"] == "M" and e["name"] == "thread_name"
         }
         assert {"engine", "worker 0", "worker 1"} <= names
+        report = json.loads(
+            (tmp_path / "profile_cc-sharded-w2.json").read_text()
+        )
+        workers = report["memory"]["worker_peak_rss_bytes"]
+        assert set(workers) == {"0", "1"}
+        assert all(v > 0 for v in workers.values())
