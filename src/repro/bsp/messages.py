@@ -102,17 +102,38 @@ class MessageBuffer:
         folded messages, so the send-side counters (``total_sent`` and
         the per-destination enqueue histogram) would undercount the raw
         traffic.  When the exact counters were checkpointed they are
-        restored verbatim on top of the replay.
+        restored on top of the replay — after validation: the histogram
+        must have exactly one entry per vertex and the restored
+        ``total_sent`` must cover the replayed deliveries, otherwise a
+        truncated or corrupt checkpoint would silently misalign the
+        hotspot counters against the vertex id space.
         """
         buf = cls(num_vertices, combiner)
         for target, message in pending:
             buf.send(-1, target, message)
         if total_sent is not None:
-            buf.total_sent = int(total_sent)
+            total_sent = int(total_sent)
+            if total_sent < buf.total_delivered:
+                raise ValueError(
+                    f"corrupt checkpoint counters: total_sent {total_sent} "
+                    f"is less than the {buf.total_delivered} pending "
+                    "deliveries it must cover"
+                )
+            buf.total_sent = total_sent
         if enqueues_per_destination is not None:
-            buf.enqueues_per_destination = np.array(
-                enqueues_per_destination, dtype=np.int64
-            )
+            hist = np.asarray(enqueues_per_destination, dtype=np.int64)
+            if hist.shape != (num_vertices,):
+                raise ValueError(
+                    "corrupt checkpoint counters: enqueues_per_destination "
+                    f"has shape {hist.shape}, expected ({num_vertices},) — "
+                    "one enqueue count per vertex"
+                )
+            if hist.size and hist.min() < 0:
+                raise ValueError(
+                    "corrupt checkpoint counters: negative "
+                    "enqueues_per_destination entry"
+                )
+            buf.enqueues_per_destination = hist.copy()
         return buf
 
     @property

@@ -47,6 +47,7 @@ freely with the dense engine) — is inherited verbatim.
 from __future__ import annotations
 
 import os
+import threading
 import time
 import traceback
 from multiprocessing import get_all_start_methods, get_context, shared_memory
@@ -366,6 +367,11 @@ class ShardedBSPEngine(DenseBSPEngine):
 
         n = graph.num_vertices
         self._closed = False
+        # One runner at a time: the pipe protocol interleaves send/recv
+        # pairs per worker, so concurrent run() calls (e.g. service job
+        # threads sharing one warm engine) must serialize here.  Close
+        # takes the same lock, so a shutdown waits for an in-flight run.
+        self._lifecycle_lock = threading.RLock()
         self._static_shms: list[shared_memory.SharedMemory] = []
         self._values_shm: shared_memory.SharedMemory | None = None
         self._gathered_shm: shared_memory.SharedMemory | None = None
@@ -662,8 +668,35 @@ class ShardedBSPEngine(DenseBSPEngine):
         return gathered, receivers, int(raw)
 
     # -- lifecycle -------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has released the worker pool."""
+        return self._closed
+
+    def run(self, program: DenseVertexProgram, **kwargs: Any):
+        """Execute ``program`` (see :meth:`DenseBSPEngine.run`).
+
+        The engine is reusable: call ``run`` any number of times between
+        construction and :meth:`close` — the worker pool and the
+        shared-memory CSR stay warm across runs.  Runs are serialized
+        with an internal lock so a warm engine can be shared by
+        multiple threads.
+        """
+        with self._lifecycle_lock:
+            self._check_open()
+            return super().run(program, **kwargs)
+
     def close(self) -> None:
-        """Shut the worker pool down and release all shared memory."""
+        """Shut the worker pool down and release all shared memory.
+
+        Idempotent and thread-safe: concurrent calls (and calls racing
+        an in-flight :meth:`run`) serialize on the lifecycle lock, and
+        every call after the first is a no-op.
+        """
+        with self._lifecycle_lock:
+            self._close_locked()
+
+    def _close_locked(self) -> None:
         if self._closed:
             return
         self._closed = True

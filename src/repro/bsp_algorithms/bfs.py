@@ -25,7 +25,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.bsp import make_engine
+from repro.bsp import engine_for
 from repro.bsp.dense import DenseSuperstepContext, DenseVertexProgram
 from repro.bsp.vertex import VertexContext, VertexProgram
 from repro.graph.csr import CSRGraph
@@ -150,31 +150,32 @@ def bsp_breadth_first_search(
     num_workers: int | None = None,
     partition: str = "hash",
     telemetry=None,
+    engine=None,
 ) -> BSPBFSResult:
     """Dense-engine execution of Algorithm 2.
 
     ``num_workers`` > 1 shards the scatter/gather over that many worker
     processes under the given ``partition`` placement.  ``telemetry``
     (a :class:`~repro.telemetry.core.Telemetry`) records wall-clock
-    spans without affecting results.
+    spans without affecting results.  ``engine`` reuses a warm
+    caller-owned engine built on this graph (left open afterwards; the
+    engine-construction kwargs are then ignored).
     """
     n = graph.num_vertices
     if not 0 <= source < n:
         raise IndexError(f"source {source} out of range [0, {n})")
     program = DenseBreadthFirstSearch(source)
-    engine = make_engine(
+    with engine_for(
         graph,
+        engine,
         num_workers=num_workers,
         partition=partition,
         costs=costs,
         telemetry=telemetry,
-    )
-    try:
-        result = engine.run(
+    ) as eng:
+        result = eng.run(
             program, max_supersteps=max_supersteps, trace_label="bsp/bfs"
         )
-    finally:
-        engine.close()
     dist = result.values
     return BSPBFSResult(
         source=source,

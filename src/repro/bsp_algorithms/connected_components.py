@@ -24,7 +24,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.bsp import make_engine
+from repro.bsp import engine_for
 from repro.bsp.dense import DenseSuperstepContext, DenseVertexProgram
 from repro.bsp.vertex import VertexContext, VertexProgram
 from repro.graph.csr import CSRGraph
@@ -117,6 +117,7 @@ def bsp_connected_components(
     num_workers: int | None = None,
     partition: str = "hash",
     telemetry=None,
+    engine=None,
 ) -> BSPComponentsResult:
     """Dense-engine execution of Algorithm 1.
 
@@ -135,27 +136,28 @@ def bsp_connected_components(
     processes under the given ``partition`` placement (results are
     unaffected — min-combine folds are exact at any partition).
     ``telemetry`` records wall-clock spans without affecting results.
+    ``engine`` reuses a warm caller-owned engine built on this graph
+    (left open afterwards; the engine-construction kwargs are then
+    ignored).
     """
     if graph.directed:
         raise ValueError(
             "BSP connected components requires an undirected graph"
         )
-    engine = make_engine(
+    with engine_for(
         graph,
+        engine,
         num_workers=num_workers,
         partition=partition,
         combine_messages=combine_messages,
         costs=costs,
         telemetry=telemetry,
-    )
-    try:
-        result = engine.run(
+    ) as eng:
+        result = eng.run(
             DenseConnectedComponents(),
             max_supersteps=max_supersteps,
             trace_label="bsp/cc",
         )
-    finally:
-        engine.close()
     labels = result.values
     return BSPComponentsResult(
         labels=labels,

@@ -22,7 +22,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.bsp import make_engine
+from repro.bsp import engine_for
 from repro.bsp.dense import DenseSuperstepContext, DenseVertexProgram
 from repro.bsp.vertex import VertexContext, VertexProgram
 from repro.graph.csr import CSRGraph
@@ -128,6 +128,7 @@ def bsp_k_core(
     num_workers: int | None = None,
     partition: str = "hash",
     telemetry=None,
+    engine=None,
 ) -> BSPKCoreResult:
     """Dense-engine BSP k-core membership (semantics of :class:`BSPKCore`).
 
@@ -135,25 +136,26 @@ def bsp_k_core(
     processes under the given ``partition`` placement (membership is
     unaffected — integer sum folds are exact at any partition).
     ``telemetry`` records wall-clock spans without affecting results.
+    ``engine`` reuses a warm caller-owned engine built on this graph
+    (left open afterwards; the engine-construction kwargs are then
+    ignored).
     """
     if graph.directed:
         raise ValueError("k-core requires an undirected graph")
     if k < 0:
         raise ValueError("k must be non-negative")
     program = DenseKCore(k)
-    engine = make_engine(
+    with engine_for(
         graph,
+        engine,
         num_workers=num_workers,
         partition=partition,
         costs=costs,
         telemetry=telemetry,
-    )
-    try:
-        result = engine.run(
+    ) as eng:
+        result = eng.run(
             program, max_supersteps=max_supersteps, trace_label="bsp/kcore"
         )
-    finally:
-        engine.close()
     return BSPKCoreResult(
         k=k,
         in_core=result.values >= 0,

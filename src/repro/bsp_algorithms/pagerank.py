@@ -19,7 +19,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.bsp import make_engine
+from repro.bsp import engine_for
 from repro.bsp.dense import DenseSuperstepContext, DenseVertexProgram
 from repro.bsp.vertex import VertexContext, VertexProgram
 from repro.graph.csr import CSRGraph
@@ -151,6 +151,7 @@ def bsp_pagerank(
     num_workers: int | None = None,
     partition: str = "hash",
     telemetry=None,
+    engine=None,
 ) -> BSPPageRankResult:
     """Dense-engine fixed-superstep BSP PageRank (with dangling handling).
 
@@ -159,23 +160,24 @@ def bsp_pagerank(
     summation may differ from single-process ranks in the last ulp
     (the per-shard partial sums merge in shard order).
     ``telemetry`` records wall-clock spans without affecting results.
+    ``engine`` reuses a warm caller-owned engine built on this graph
+    (left open afterwards; the engine-construction kwargs are then
+    ignored).
     """
     program = DensePageRank(num_supersteps=num_supersteps, damping=damping)
-    engine = make_engine(
+    with engine_for(
         graph,
+        engine,
         num_workers=num_workers,
         partition=partition,
         costs=costs,
         telemetry=telemetry,
-    )
-    try:
-        result = engine.run(
+    ) as eng:
+        result = eng.run(
             program,
             max_supersteps=num_supersteps + 1,
             trace_label="bsp/pagerank",
         )
-    finally:
-        engine.close()
     return BSPPageRankResult(
         ranks=result.values,
         num_supersteps=result.num_supersteps,

@@ -18,7 +18,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.bsp import make_engine
+from repro.bsp import engine_for
 from repro.bsp.dense import DenseSuperstepContext, DenseVertexProgram
 from repro.bsp.vertex import VertexContext, VertexProgram
 from repro.graph.csr import CSRGraph
@@ -120,6 +120,7 @@ def bsp_sssp(
     num_workers: int | None = None,
     partition: str = "hash",
     telemetry=None,
+    engine=None,
 ) -> BSPSSSPResult:
     """Dense-engine BSP SSSP (unit weights when the graph is unweighted).
 
@@ -127,27 +128,28 @@ def bsp_sssp(
     processes under the given ``partition`` placement (distances are
     unaffected — min-combine folds are exact at any partition).
     ``telemetry`` records wall-clock spans without affecting results.
+    ``engine`` reuses a warm caller-owned engine built on this graph
+    (left open afterwards; the engine-construction kwargs are then
+    ignored).
     """
     n = graph.num_vertices
     if not 0 <= source < n:
         raise IndexError(f"source {source} out of range [0, {n})")
     if graph.weights is not None and graph.weights.size and graph.weights.min() < 0:
         raise ValueError("bsp_sssp requires non-negative weights")
-    engine = make_engine(
+    with engine_for(
         graph,
+        engine,
         num_workers=num_workers,
         partition=partition,
         costs=costs,
         telemetry=telemetry,
-    )
-    try:
-        result = engine.run(
+    ) as eng:
+        result = eng.run(
             DenseShortestPaths(source),
             max_supersteps=max_supersteps,
             trace_label="bsp/sssp",
         )
-    finally:
-        engine.close()
     return BSPSSSPResult(
         source=source,
         distances=result.values,

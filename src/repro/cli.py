@@ -13,15 +13,18 @@ Renders each of the paper's experiments as ASCII tables::
     python -m repro.cli all               # everything
     python -m repro.cli profile ...       # wall-clock telemetry profiling
     python -m repro.cli bench ...         # benchmark history + regression gate
+    python -m repro.cli serve ...         # long-lived graph-analytics server
     python -m repro.cli version           # exact package version
 
 ``profile`` is its own subcommand (see :mod:`repro.telemetry.profile`):
 it runs one algorithm with telemetry enabled and writes a Chrome trace
 plus a measured-vs-modeled report.  ``bench`` (see :mod:`repro.bench.cli`)
 records benchmark runs into the append-only history ledger, renders
-trends, and gates regressions.  ``version`` (also ``--version``) prints
-the installed package version, so ledger provenance and bug reports can
-cite an exact release.
+trends, and gates regressions.  ``serve`` (see :mod:`repro.service.cli`)
+loads one graph into the sharded engine's shared-memory CSR and serves
+algorithm jobs over HTTP — submit, poll, fetch results / telemetry /
+traces.  ``version`` (also ``--version``) prints the installed package
+version, so ledger provenance and bug reports can cite an exact release.
 
 Options: ``--scale N`` (default 14), ``--seed S``, ``--paper-scale``
 (render the processor sweeps with work extrapolated to the paper's
@@ -330,6 +333,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.bench.cli import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.service.cli import main as serve_main
+
+        return serve_main(argv[1:])
     if argv and argv[0] in ("version", "--version"):
         from repro.bench.ledger import package_version
 

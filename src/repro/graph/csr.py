@@ -210,6 +210,32 @@ class CSRGraph:
             total += self.weights.nbytes
         return total
 
+    def fingerprint(self) -> str:
+        """Content hash of the frozen CSR (hex SHA-256, cached).
+
+        Two graphs share a fingerprint exactly when their CSR arrays,
+        weights, and flags are identical — the stable identity the
+        service layer's result cache keys on.  Safe to cache because
+        instances are frozen and the arrays are non-writeable.
+        """
+        cached = self._degree_cache.get("fingerprint")
+        if cached is None:
+            import hashlib
+
+            h = hashlib.sha256()
+            h.update(
+                f"csr/v1 directed={self.directed} "
+                f"sorted={self.sorted_adjacency} "
+                f"weighted={self.is_weighted}".encode("ascii")
+            )
+            h.update(np.ascontiguousarray(self.row_ptr).tobytes())
+            h.update(np.ascontiguousarray(self.col_idx).tobytes())
+            if self.weights is not None:
+                h.update(np.ascontiguousarray(self.weights).tobytes())
+            cached = h.hexdigest()
+            self._degree_cache["fingerprint"] = cached
+        return cached
+
     def reverse(self) -> "CSRGraph":
         """Transpose a directed graph (identity for undirected graphs)."""
         if not self.directed:

@@ -56,6 +56,31 @@ def write_edge_list(graph: CSRGraph, path: str | os.PathLike) -> None:
                 fh.write(f"{u} {v} {ww:.17g}\n")
 
 
+def _parse_vertex(
+    token: str, path: Path, lineno: int, num_vertices: int | None
+) -> int:
+    """Parse one vertex id, reporting ``path:lineno`` on a bad value.
+
+    Invalid ids used to flow through to CSR validation, which fails with
+    no indication of *which line* of a million-edge file was bad (or,
+    with no ``num_vertices`` bound, silently inflates the vertex count).
+    """
+    try:
+        v = int(token)
+    except ValueError:
+        raise ValueError(
+            f"{path}:{lineno}: vertex id {token!r} is not an integer"
+        ) from None
+    if v < 0:
+        raise ValueError(f"{path}:{lineno}: negative vertex id {v}")
+    if num_vertices is not None and v >= num_vertices:
+        raise ValueError(
+            f"{path}:{lineno}: vertex id {v} out of range "
+            f"[0, {num_vertices})"
+        )
+    return v
+
+
 def read_edge_list(
     path: str | os.PathLike,
     num_vertices: int | None = None,
@@ -64,7 +89,9 @@ def read_edge_list(
 ) -> CSRGraph:
     """Read a ``u v [w]`` edge list (``#`` comments ignored).
 
-    Weighted and unweighted lines must not be mixed.
+    Weighted and unweighted lines must not be mixed.  Vertex ids are
+    validated while parsing — negative or (when ``num_vertices`` is
+    given) out-of-range ids raise with the offending ``path:lineno``.
     """
     path = Path(path)
     sources: list[int] = []
@@ -89,8 +116,8 @@ def read_edge_list(
                 raise ValueError(
                     f"{path}:{lineno}: mixed weighted/unweighted lines"
                 )
-            sources.append(int(parts[0]))
-            targets.append(int(parts[1]))
+            sources.append(_parse_vertex(parts[0], path, lineno, num_vertices))
+            targets.append(_parse_vertex(parts[1], path, lineno, num_vertices))
             if this_weighted:
                 weights.append(float(parts[2]))
     edges = np.column_stack(
@@ -133,7 +160,13 @@ def load_graph(path: str | os.PathLike) -> CSRGraph:
 
 
 def read_dimacs(path: str | os.PathLike, *, directed: bool = True) -> CSRGraph:
-    """Read a DIMACS shortest-path instance (``p sp``/``a`` lines, 1-indexed)."""
+    """Read a DIMACS shortest-path instance (``p sp``/``a`` lines, 1-indexed).
+
+    Arc endpoints are validated while parsing: ids outside
+    ``[1, N]`` (``N`` from the ``p sp`` header, which must precede the
+    arc lines) raise with the offending ``path:lineno`` instead of
+    failing later in CSR validation without file context.
+    """
     path = Path(path)
     num_vertices: int | None = None
     sources: list[int] = []
@@ -149,9 +182,25 @@ def read_dimacs(path: str | os.PathLike, *, directed: bool = True) -> CSRGraph:
                 if len(parts) != 4 or parts[1] != "sp":
                     raise ValueError(f"{path}:{lineno}: expected 'p sp N M'")
                 num_vertices = int(parts[2])
+                if num_vertices < 0:
+                    raise ValueError(
+                        f"{path}:{lineno}: negative vertex count "
+                        f"{num_vertices}"
+                    )
             elif parts[0] == "a":
                 if len(parts) != 4:
                     raise ValueError(f"{path}:{lineno}: expected 'a u v w'")
+                if num_vertices is None:
+                    raise ValueError(
+                        f"{path}:{lineno}: arc line before the 'p sp' header"
+                    )
+                for token in parts[1:3]:
+                    v = int(token)
+                    if not 1 <= v <= num_vertices:
+                        raise ValueError(
+                            f"{path}:{lineno}: vertex id {v} out of range "
+                            f"[1, {num_vertices}] (DIMACS ids are 1-indexed)"
+                        )
                 sources.append(int(parts[1]) - 1)
                 targets.append(int(parts[2]) - 1)
                 weights.append(float(parts[3]))

@@ -32,6 +32,10 @@ class StreamingGraph:
     Self loops are rejected; duplicate insertions and deletions of
     missing edges are no-ops (returning False), so streams with repeats
     are safe to replay.
+
+    Edges carry no weights: the blocked adjacency stores vertex ids
+    only, so :meth:`from_csr` refuses weighted snapshots rather than
+    silently dropping their weight array.
     """
 
     def __init__(self, num_vertices: int):
@@ -137,9 +141,15 @@ class StreamingGraph:
 
     @classmethod
     def from_csr(cls, graph: CSRGraph) -> "StreamingGraph":
-        """Seed a dynamic graph from a static snapshot."""
+        """Seed a dynamic graph from a static (unweighted) snapshot."""
         if graph.directed:
             raise ValueError("StreamingGraph is undirected")
+        if graph.is_weighted:
+            raise ValueError(
+                "weighted graphs are not supported: StreamingGraph stores "
+                "no edge weights, so seeding from this snapshot would "
+                "silently drop graph.weights"
+            )
         sg = cls(graph.num_vertices)
         src = graph.arc_sources()
         keep = src < graph.col_idx

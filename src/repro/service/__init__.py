@@ -1,0 +1,51 @@
+"""Long-lived graph-analytics service over the BSP engines.
+
+The paper's model system "serves read-only graphs to analysis
+applications"; this package is that service tier.  One graph is frozen
+into the sharded engine's shared-memory CSR at startup and every request
+reuses the same warm worker pool — the request-handling / warm-state /
+result-delivery layer that dominates end-to-end cost in served graph
+systems.
+
+Three tiers, separately testable:
+
+* :mod:`~repro.service.handlers` — HTTP routing (stdlib
+  ``ThreadingHTTPServer``, JSON bodies), nothing else;
+* :mod:`~repro.service.app` — the orchestrator:
+  :class:`~repro.service.app.GraphAnalyticsService` owning the warm
+  engine, the job manager, the result cache, and session telemetry;
+* :mod:`~repro.service.jobs` / :mod:`~repro.service.cache` /
+  :mod:`~repro.service.runner` — persistence and execution: the
+  thread-safe job table, the LRU result cache keyed on
+  ``(graph fingerprint, algorithm, canonical params)``, and the
+  parameter-validated dispatch onto :mod:`repro.bsp_algorithms`.
+
+Entry point: ``python -m repro.cli serve`` (see
+:mod:`repro.service.cli`); docs in ``docs/SERVICE.md``.
+"""
+
+from repro.service.app import (
+    GraphAnalyticsService,
+    GraphServiceHTTPServer,
+    build_server,
+)
+from repro.service.cache import ResultCache
+from repro.service.jobs import JOB_STATES, Job, JobManager
+from repro.service.runner import (
+    ALGORITHMS,
+    canonicalize_params,
+    run_algorithm,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "JOB_STATES",
+    "GraphAnalyticsService",
+    "GraphServiceHTTPServer",
+    "Job",
+    "JobManager",
+    "ResultCache",
+    "build_server",
+    "canonicalize_params",
+    "run_algorithm",
+]

@@ -1,0 +1,232 @@
+"""The graph-analytics service: warm engine, jobs, cache, telemetry.
+
+This is the orchestrator tier: it owns the served graph (frozen once
+into the sharded engine's shared-memory CSR at startup), the persistent
+:class:`~repro.bsp.parallel.ShardedBSPEngine` worker pool reused by
+every request, the :class:`~repro.service.jobs.JobManager`, the
+:class:`~repro.service.cache.ResultCache`, and one
+:class:`~repro.telemetry.core.Telemetry` collecting spans and counters
+across the whole serving session.  The HTTP tier
+(:mod:`repro.service.handlers`) only translates requests onto this
+object, so everything here is exercisable without a socket.
+
+Shutdown is graceful by construction: :meth:`GraphAnalyticsService.close`
+first drains the job queue (in-flight and already-queued jobs finish),
+then closes the engine — worker processes exit and shared memory is
+unlinked, nothing is orphaned.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from http.server import ThreadingHTTPServer
+
+from repro.bsp.parallel import ShardedBSPEngine
+from repro.graph.csr import CSRGraph
+from repro.service.cache import ResultCache
+from repro.service.jobs import Job, JobManager
+from repro.service.runner import ALGORITHMS, canonicalize_params, run_algorithm
+from repro.telemetry.core import Telemetry
+from repro.telemetry.export import chrome_trace, telemetry_report
+
+__all__ = ["GraphAnalyticsService", "GraphServiceHTTPServer", "build_server"]
+
+
+class GraphAnalyticsService:
+    """Serve algorithm jobs against one read-only graph.
+
+    Parameters
+    ----------
+    graph:
+        The graph to serve; its CSR is copied into shared memory once,
+        at construction, and every job reads that copy.
+    num_workers:
+        Shard worker processes for the warm engine (and the triangle
+        closure-scan pool).
+    partition:
+        Vertex placement policy for the warm engine.
+    job_threads:
+        Job-executor threads.  Engine-backed jobs serialize on the
+        engine's internal lock; extra threads let cache hits and
+        triangle jobs proceed alongside an engine run.
+    cache_capacity:
+        LRU result-cache entries (0 disables caching).
+    telemetry:
+        Optional externally-owned :class:`Telemetry`; one is created
+        when omitted.  Cache hits/misses, job spans, and every engine
+        span of the session land here.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        *,
+        num_workers: int = 2,
+        partition: str = "hash",
+        job_threads: int = 2,
+        cache_capacity: int = 128,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        self.graph = graph
+        self.fingerprint = graph.fingerprint()
+        self.telemetry = (
+            telemetry if telemetry is not None else Telemetry(label="serve")
+        )
+        self.num_workers = int(num_workers)
+        self.cache = ResultCache(cache_capacity)
+        self.started_at = time.time()
+        self._closed = False
+        self._close_lock = threading.Lock()
+        self.engine = ShardedBSPEngine(
+            graph,
+            num_workers=self.num_workers,
+            partition=partition,
+            telemetry=self.telemetry,
+        )
+        # Jobs last: workers must never observe a half-built service.
+        self.jobs = JobManager(self._execute, num_threads=job_threads)
+
+    # -- request surface -------------------------------------------------
+    def submit(self, algorithm: str, params: dict | None) -> Job:
+        """Validate and enqueue one job.
+
+        Raises :class:`ValueError` on a bad algorithm/params (HTTP 400)
+        and :class:`RuntimeError` once shutdown began (HTTP 503).
+        """
+        canonical = canonicalize_params(algorithm, params, self.graph)
+        if self._closed:
+            raise RuntimeError("service is shutting down")
+        return self.jobs.submit(algorithm, canonical)
+
+    def _execute(self, job: Job) -> tuple[dict, bool]:
+        """Job-thread entry: serve from cache or compute on the warm engine."""
+        tel = self.telemetry
+        key = ResultCache.make_key(self.fingerprint, job.algorithm, job.params)
+        hit = self.cache.get(key)
+        if hit is not None:
+            tel.counter("service_cache_hit", 1)
+            return hit, True
+        tel.counter("service_cache_miss", 1)
+        with tel.span(
+            "job", category="service", algorithm=job.algorithm,
+            job_id=job.job_id,
+        ):
+            result = run_algorithm(
+                job.algorithm,
+                job.params,
+                self.graph,
+                engine=self.engine,
+                num_workers=self.num_workers,
+                telemetry=tel,
+            )
+        self.cache.put(key, result)
+        return result, False
+
+    # -- reporting -------------------------------------------------------
+    def graph_info(self) -> dict:
+        """Metadata of the served graph."""
+        g = self.graph
+        return {
+            "fingerprint": self.fingerprint,
+            "num_vertices": g.num_vertices,
+            "num_edges": g.num_edges,
+            "num_arcs": g.num_arcs,
+            "directed": g.directed,
+            "weighted": g.is_weighted,
+            "memory_footprint_bytes": g.memory_footprint_bytes(),
+        }
+
+    def status(self) -> dict:
+        """The ``GET /health`` body."""
+        return {
+            "status": "shutting-down" if self._closed else "ok",
+            "uptime_seconds": time.time() - self.started_at,
+            "algorithms": list(ALGORITHMS),
+            "num_workers": self.num_workers,
+            "graph": self.graph_info(),
+            "jobs": self.jobs.counts(),
+            "cache": self.cache.stats(),
+        }
+
+    def telemetry_report(self) -> dict:
+        """The ``GET /telemetry`` body: session report + service block."""
+        report = telemetry_report(self.telemetry)
+        report["service"] = {
+            "uptime_seconds": time.time() - self.started_at,
+            "graph": self.graph_info(),
+            "jobs": self.jobs.counts(),
+            "cache": self.cache.stats(),
+        }
+        return report
+
+    def chrome_trace(self) -> dict:
+        """The ``GET /trace`` body (load in Perfetto / chrome://tracing)."""
+        return chrome_trace(self.telemetry)
+
+    # -- lifecycle -------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self, *, timeout: float | None = None) -> None:
+        """Drain in-flight jobs, then release the engine.  Idempotent."""
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self.jobs.shutdown(timeout=timeout)
+        self.engine.close()
+
+    def __enter__(self) -> "GraphAnalyticsService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class GraphServiceHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one :class:`GraphAnalyticsService`.
+
+    Handler threads are daemonic so a stuck client cannot block process
+    exit; job draining is the service's responsibility, not the socket
+    layer's.
+    """
+
+    daemon_threads = True
+
+    def __init__(self, address, service: GraphAnalyticsService,
+                 *, verbose: bool = False) -> None:
+        from repro.service.handlers import ServiceRequestHandler
+
+        self.service = service
+        self.verbose = verbose
+        #: Set once a client or signal asked the serve loop to stop.
+        self.shutdown_requested = threading.Event()
+        super().__init__(address, ServiceRequestHandler)
+
+    def initiate_shutdown(self) -> None:
+        """Stop the serve loop from any thread (handler or signal safe).
+
+        ``shutdown()`` blocks until the loop exits, so it runs on a
+        helper thread; the caller returns immediately.  Job draining
+        happens afterwards in the serving thread's epilogue
+        (see :func:`repro.service.cli.main`).
+        """
+        if self.shutdown_requested.is_set():
+            return
+        self.shutdown_requested.set()
+        threading.Thread(
+            target=self.shutdown, name="repro-serve-shutdown", daemon=True
+        ).start()
+
+
+def build_server(
+    service: GraphAnalyticsService,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    *,
+    verbose: bool = False,
+) -> GraphServiceHTTPServer:
+    """Bind the HTTP tier to ``service`` (``port=0`` picks a free port)."""
+    return GraphServiceHTTPServer((host, port), service, verbose=verbose)

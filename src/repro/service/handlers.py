@@ -1,0 +1,192 @@
+"""HTTP routing for the graph-analytics service (stdlib only).
+
+The router tier: translate JSON-over-HTTP requests onto the
+:class:`~repro.service.app.GraphAnalyticsService` object and nothing
+else — no algorithm knowledge, no lifecycle ownership.  Endpoints:
+
+====== ======================== ===========================================
+Method Path                     Meaning
+====== ======================== ===========================================
+GET    ``/health``              service status, graph metadata, job/cache
+                                tallies
+GET    ``/graph``               served-graph metadata
+POST   ``/jobs``                submit ``{"algorithm": ..., "params": {}}``
+                                → 202 with the job id
+GET    ``/jobs``                all jobs, submission order
+GET    ``/jobs/<id>``           one job's status
+GET    ``/jobs/<id>/result``    200 payload when done, 409 while pending /
+                                running, 500 with the error when failed
+GET    ``/telemetry``           schema-versioned telemetry report
+                                (+ service block with cache hit/miss)
+GET    ``/trace``               Chrome trace-event JSON of the session
+POST   ``/shutdown``            202, then graceful drain and exit
+====== ======================== ===========================================
+
+Error bodies are always ``{"error": "..."}``; malformed JSON is a 400,
+unknown routes 404, wrong methods 405.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler
+
+__all__ = ["ServiceRequestHandler"]
+
+#: Request bodies above this are rejected (parameters are tiny).
+_MAX_BODY_BYTES = 1 << 20
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """One HTTP request against the service (threaded by the server)."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self):
+        return self.server.service
+
+    # -- plumbing --------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _send_json(self, code: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("ascii")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, code: int, message: str) -> None:
+        self._send_json(code, {"error": message})
+
+    def _read_json_body(self) -> dict | None:
+        """Parse the request body; None (after a 400/413) when invalid."""
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > _MAX_BODY_BYTES:
+            self._error(413, "request body too large")
+            return None
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            self._error(400, f"invalid JSON body: {exc}")
+            return None
+        if not isinstance(body, dict):
+            self._error(400, "JSON body must be an object")
+            return None
+        return body
+
+    # -- GET routes ------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.rstrip("/") or "/"
+        if path == "/health":
+            self._send_json(200, self.service.status())
+        elif path == "/graph":
+            self._send_json(200, self.service.graph_info())
+        elif path == "/jobs":
+            self._send_json(
+                200,
+                {"jobs": [j.to_dict() for j in self.service.jobs.list_jobs()]},
+            )
+        elif path == "/telemetry":
+            self._send_json(200, self.service.telemetry_report())
+        elif path == "/trace":
+            self._send_json(200, self.service.chrome_trace())
+        elif path.startswith("/jobs/"):
+            self._get_job(path)
+        else:
+            self._error(404, f"unknown path {self.path!r}")
+
+    def _get_job(self, path: str) -> None:
+        parts = path.split("/")[2:]  # after "/jobs/"
+        job = self.service.jobs.get(parts[0])
+        if job is None:
+            self._error(404, f"unknown job {parts[0]!r}")
+            return
+        if len(parts) == 1:
+            self._send_json(200, job.to_dict())
+        elif len(parts) == 2 and parts[1] == "result":
+            if job.status == "done":
+                self._send_json(
+                    200,
+                    {
+                        "job_id": job.job_id,
+                        "status": job.status,
+                        "cached": job.cached,
+                        "result": job.result,
+                    },
+                )
+            elif job.status == "failed":
+                self._send_json(
+                    500,
+                    {
+                        "job_id": job.job_id,
+                        "status": job.status,
+                        "error": job.error,
+                    },
+                )
+            else:
+                self._send_json(
+                    409,
+                    {
+                        "job_id": job.job_id,
+                        "status": job.status,
+                        "error": "job has not finished; poll "
+                                 f"/jobs/{job.job_id}",
+                    },
+                )
+        else:
+            self._error(404, f"unknown path {self.path!r}")
+
+    # -- POST routes -----------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.rstrip("/")
+        if path == "/jobs":
+            self._submit_job()
+        elif path == "/shutdown":
+            self._send_json(202, {"status": "shutting-down"})
+            self.server.initiate_shutdown()
+        else:
+            self._error(404, f"unknown path {self.path!r}")
+
+    def _submit_job(self) -> None:
+        body = self._read_json_body()
+        if body is None:
+            return
+        algorithm = body.get("algorithm")
+        if not isinstance(algorithm, str):
+            self._error(400, "body must name an 'algorithm' string")
+            return
+        params = body.get("params") or {}
+        if not isinstance(params, dict):
+            self._error(400, "'params' must be an object")
+            return
+        try:
+            job = self.service.submit(algorithm, params)
+        except ValueError as exc:
+            self._error(400, str(exc))
+            return
+        except RuntimeError as exc:
+            self._error(503, str(exc))
+            return
+        self._send_json(
+            202,
+            {
+                "job_id": job.job_id,
+                "status": job.status,
+                "algorithm": job.algorithm,
+                "params": job.params,
+            },
+        )
+
+    # Reject everything else explicitly so clients get JSON, not HTML.
+    def do_PUT(self) -> None:  # noqa: N802 - http.server API
+        self._error(405, "method not allowed")
+
+    do_DELETE = do_PATCH = do_PUT  # noqa: N815 - http.server API

@@ -1,0 +1,202 @@
+"""Job lifecycle for the graph-analytics service.
+
+A job is one algorithm request against the served graph.  Jobs move
+through ``submitted → running → done`` (or ``failed``); clients submit,
+poll status, then fetch the result.  Execution happens on a small pool
+of daemon worker threads feeding from a FIFO queue — the HTTP handler
+threads never run algorithms themselves, so slow jobs cannot starve
+status polls.
+
+Shutdown drains: :meth:`JobManager.shutdown` stops accepting new jobs,
+lets every already-queued job execute, and joins the workers.  A
+sentinel per worker rides the same FIFO queue behind the pending jobs,
+so "drain" needs no separate bookkeeping.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["JOB_STATES", "Job", "JobManager"]
+
+#: Legal :attr:`Job.status` values, in lifecycle order.
+JOB_STATES = ("submitted", "running", "done", "failed")
+
+#: Queue entry that tells a worker thread to exit.
+_STOP = None
+
+
+@dataclass
+class Job:
+    """One algorithm request and its lifecycle state.
+
+    Mutable fields are only written by the owning
+    :class:`JobManager` (under its lock); handler threads read
+    snapshots via :meth:`to_dict`.
+    """
+
+    job_id: str
+    algorithm: str
+    #: Canonicalized parameters (defaults filled, keys validated).
+    params: dict
+    status: str = "submitted"
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    #: True when the result came from the cache without recompute.
+    cached: bool = False
+    error: str | None = None
+    #: JSON-safe result payload once ``status == "done"``.
+    result: dict | None = None
+
+    def to_dict(self, *, include_result: bool = False) -> dict:
+        """JSON-safe status view (the ``GET /jobs/<id>`` body)."""
+        out = {
+            "job_id": self.job_id,
+            "algorithm": self.algorithm,
+            "params": dict(self.params),
+            "status": self.status,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "cached": self.cached,
+            "error": self.error,
+        }
+        if include_result:
+            out["result"] = self.result
+        return out
+
+
+class JobManager:
+    """Thread-safe FIFO job queue with worker-thread execution.
+
+    Parameters
+    ----------
+    execute:
+        ``execute(job) -> (result_dict, cached)``; raising marks the
+        job ``failed`` with the exception text as :attr:`Job.error`.
+    num_threads:
+        Worker thread count.  More than one only helps jobs that do not
+        contend on the single warm engine (the engine serializes runs
+        internally), e.g. cache hits and the triangles closure scan.
+    """
+
+    def __init__(
+        self,
+        execute: Callable[[Job], tuple[dict, bool]],
+        *,
+        num_threads: int = 2,
+    ) -> None:
+        if num_threads < 1:
+            raise ValueError("num_threads must be >= 1")
+        self._execute = execute
+        self._queue: queue.Queue[Any] = queue.Queue()
+        self._jobs: dict[str, Job] = {}
+        self._order: list[str] = []
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._closed = False
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name=f"repro-job-{i}", daemon=True
+            )
+            for i in range(num_threads)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # -- client surface --------------------------------------------------
+    def submit(self, algorithm: str, params: dict) -> Job:
+        """Enqueue a job (already-canonicalized params); returns it."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("job manager is shut down")
+            job = Job(
+                job_id=f"job-{next(self._ids):06d}",
+                algorithm=algorithm,
+                params=params,
+            )
+            self._jobs[job.job_id] = job
+            self._order.append(job.job_id)
+        self._queue.put(job)
+        return job
+
+    def get(self, job_id: str) -> Job | None:
+        """The job with ``job_id``, or None."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def list_jobs(self) -> list[Job]:
+        """All jobs in submission order."""
+        with self._lock:
+            return [self._jobs[jid] for jid in self._order]
+
+    def counts(self) -> dict[str, int]:
+        """Job tallies by status (every state present, zeros included)."""
+        out = {state: 0 for state in JOB_STATES}
+        with self._lock:
+            for job in self._jobs.values():
+                out[job.status] += 1
+        return out
+
+    def wait(self, job_id: str, timeout: float = 30.0) -> Job:
+        """Poll until the job reaches a terminal state (test helper)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            job = self.get(job_id)
+            if job is not None and job.status in ("done", "failed"):
+                return job
+            time.sleep(0.005)
+        raise TimeoutError(f"job {job_id} did not finish in {timeout}s")
+
+    # -- lifecycle -------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def shutdown(self, *, timeout: float | None = None) -> None:
+        """Stop accepting jobs, drain the queue, join the workers.
+
+        Every job submitted before the call still executes; the
+        per-worker stop sentinels enter the FIFO queue behind them.
+        Idempotent.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for _ in self._threads:
+            self._queue.put(_STOP)
+        for t in self._threads:
+            t.join(timeout=timeout)
+
+    # -- worker loop -----------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is _STOP:
+                return
+            with self._lock:
+                job.status = "running"
+                job.started_at = time.time()
+            try:
+                result, cached = self._execute(job)
+            except Exception as exc:
+                detail = traceback.format_exc(limit=8)
+                with self._lock:
+                    job.status = "failed"
+                    job.error = f"{type(exc).__name__}: {exc}"
+                    job.result = {"traceback": detail}
+                    job.finished_at = time.time()
+            else:
+                with self._lock:
+                    job.status = "done"
+                    job.result = result
+                    job.cached = bool(cached)
+                    job.finished_at = time.time()

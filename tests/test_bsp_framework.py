@@ -128,6 +128,56 @@ class TestMessageBuffer:
         assert exact.enqueues_per_destination.tolist() == [0, 3, 1]
         assert exact.messages_for(1) == [3]
 
+    def test_restore_rejects_misshaped_histogram(self):
+        """Regression: a truncated checkpoint histogram used to restore
+        verbatim, misaligning the hotspot counters against vertex ids."""
+        buf = MessageBuffer(4)
+        buf.send(0, 1, "a")
+        pending = buf.all_messages()
+        with pytest.raises(ValueError, match="enqueues_per_destination"):
+            MessageBuffer.restore(
+                4, None, pending,
+                enqueues_per_destination=np.array([1, 0], dtype=np.int64),
+            )
+        with pytest.raises(ValueError, match="enqueues_per_destination"):
+            MessageBuffer.restore(
+                4, None, pending,
+                enqueues_per_destination=np.zeros((2, 4), dtype=np.int64),
+            )
+
+    def test_restore_rejects_negative_histogram_entry(self):
+        with pytest.raises(ValueError, match="negative"):
+            MessageBuffer.restore(
+                2, None, [],
+                enqueues_per_destination=np.array([1, -1], dtype=np.int64),
+            )
+
+    def test_restore_rejects_undercounting_total_sent(self):
+        """total_sent must cover the replayed deliveries: a corrupt
+        counter below the pending-message count means lost accounting."""
+        buf = MessageBuffer(3)
+        buf.send(0, 1, "a")
+        buf.send(0, 2, "b")
+        with pytest.raises(ValueError, match="total_sent"):
+            MessageBuffer.restore(3, None, buf.all_messages(), total_sent=1)
+        # Exactly covering (or exceeding, for combined replays) is fine.
+        ok = MessageBuffer.restore(
+            3, None, buf.all_messages(), total_sent=2
+        )
+        assert ok.total_sent == 2
+
+    def test_restore_valid_counters_roundtrip_unchanged(self):
+        buf = MessageBuffer(3)
+        for _ in range(4):
+            buf.send(0, 1, 1)
+        clone = MessageBuffer.restore(
+            3, None, buf.all_messages(),
+            total_sent=buf.total_sent,
+            enqueues_per_destination=buf.enqueues_per_destination,
+        )
+        assert clone.total_sent == 4
+        assert clone.enqueues_per_destination.tolist() == [0, 4, 0]
+
 
 class TestCombiners:
     def test_min_max_sum(self):

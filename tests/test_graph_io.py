@@ -55,6 +55,28 @@ class TestEdgeListRoundTrip:
         with pytest.raises(ValueError, match="mixed"):
             read_edge_list(path)
 
+    def test_negative_vertex_id_reported_with_lineno(self, tmp_path):
+        """Regression: negative ids used to flow through to CSR
+        validation, failing far from the file with no line context."""
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n-2 3\n")
+        with pytest.raises(ValueError, match=r"g\.txt:2: negative vertex id"):
+            read_edge_list(path, num_vertices=4)
+
+    def test_out_of_range_vertex_id_reported_with_lineno(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\n0 9\n")
+        with pytest.raises(
+            ValueError, match=r"g\.txt:3: vertex id 9 out of range"
+        ):
+            read_edge_list(path, num_vertices=3)
+
+    def test_non_integer_vertex_id_reported_with_lineno(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 x\n")
+        with pytest.raises(ValueError, match=r"g\.txt:1: .*not an integer"):
+            read_edge_list(path)
+
     def test_rmat_round_trip(self, tmp_path):
         g = rmat(scale=8, edge_factor=4, seed=1)
         path = tmp_path / "rmat.txt"
@@ -124,4 +146,26 @@ class TestDimacs:
         path = tmp_path / "g.gr"
         path.write_text("p sp 2 0\nx nope\n")
         with pytest.raises(ValueError, match="unknown record"):
+            read_dimacs(path)
+
+    def test_out_of_range_id_reported_with_lineno(self, tmp_path):
+        """Regression: ids beyond the 'p sp' header's vertex count used
+        to surface as an opaque CSR-validation failure."""
+        path = tmp_path / "g.gr"
+        path.write_text("p sp 3 2\na 1 2 5\na 2 9 7\n")
+        with pytest.raises(
+            ValueError, match=r"g\.gr:3: vertex id 9 out of range"
+        ):
+            read_dimacs(path)
+
+    def test_zero_id_rejected_as_one_indexed(self, tmp_path):
+        path = tmp_path / "g.gr"
+        path.write_text("p sp 3 1\na 0 2 5\n")
+        with pytest.raises(ValueError, match="1-indexed"):
+            read_dimacs(path)
+
+    def test_arc_before_header_rejected(self, tmp_path):
+        path = tmp_path / "g.gr"
+        path.write_text("a 1 2 5\np sp 3 1\n")
+        with pytest.raises(ValueError, match=r"g\.gr:1: arc line before"):
             read_dimacs(path)

@@ -1,0 +1,507 @@
+"""Service-layer suite: jobs, cache, HTTP surface, graceful shutdown.
+
+The HTTP tests run a real ``ThreadingHTTPServer`` on an ephemeral port
+with a module-scoped warm service (scale-7 RMAT, 2 shard workers), so
+they exercise the exact stack ``repro serve`` runs — handler threads,
+job queue, warm-engine reuse, LRU cache, telemetry counters.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.bsp_algorithms import (
+    bsp_breadth_first_search,
+    bsp_connected_components,
+    bsp_count_triangles,
+    bsp_k_core,
+    bsp_sssp,
+)
+from repro.graph import from_edge_list, rmat
+from repro.service import (
+    ALGORITHMS,
+    GraphAnalyticsService,
+    JobManager,
+    ResultCache,
+    build_server,
+    canonicalize_params,
+)
+
+# ---------------------------------------------------------------------------
+# HTTP helpers
+# ---------------------------------------------------------------------------
+
+
+class Client:
+    """Minimal JSON-over-HTTP client returning (status_code, body)."""
+
+    def __init__(self, base: str):
+        self.base = base
+
+    def get(self, path: str):
+        try:
+            with urllib.request.urlopen(self.base + path, timeout=30) as r:
+                return r.status, json.loads(r.read())
+        except urllib.error.HTTPError as e:
+            return e.code, json.loads(e.read())
+
+    def post(self, path: str, payload=None):
+        data = json.dumps(payload or {}).encode()
+        req = urllib.request.Request(
+            self.base + path, data=data, method="POST"
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=30) as r:
+                return r.status, json.loads(r.read())
+        except urllib.error.HTTPError as e:
+            return e.code, json.loads(e.read())
+
+    def wait(self, job_id: str, timeout: float = 60.0):
+        """Poll the status endpoint until the job is terminal."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            code, body = self.get(f"/jobs/{job_id}")
+            assert code == 200, body
+            if body["status"] in ("done", "failed"):
+                return body
+            time.sleep(0.01)
+        raise TimeoutError(f"job {job_id} did not finish")
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat(scale=7, edge_factor=8, seed=3)
+
+
+@pytest.fixture(scope="module")
+def service(graph):
+    svc = GraphAnalyticsService(
+        graph, num_workers=2, job_threads=2, cache_capacity=16
+    )
+    yield svc
+    svc.close()
+
+
+@pytest.fixture(scope="module")
+def client(service):
+    server = build_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield Client(f"http://{host}:{port}")
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=10)
+
+
+# ---------------------------------------------------------------------------
+# Unit tier: cache, params, jobs
+# ---------------------------------------------------------------------------
+
+
+class TestResultCache:
+    def test_lru_eviction_and_counters(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})
+        assert cache.get("a") == {"v": 1}  # refreshes 'a'
+        cache.put("c", {"v": 3})           # evicts 'b' (LRU tail)
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.get("c") is not None
+        stats = cache.stats()
+        assert stats["hits"] == 3 and stats["misses"] == 1
+        assert stats["evictions"] == 1 and stats["size"] == 2
+
+    def test_zero_capacity_disables(self):
+        cache = ResultCache(capacity=0)
+        cache.put("a", {"v": 1})
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_key_is_canonical_in_param_order(self):
+        k1 = ResultCache.make_key("fp", "pagerank", {"a": 1, "b": 2})
+        k2 = ResultCache.make_key("fp", "pagerank", {"b": 2, "a": 1})
+        assert k1 == k2
+        assert ResultCache.make_key("other", "pagerank", {"a": 1, "b": 2}) != k1
+
+
+class TestCanonicalizeParams:
+    def test_defaults_fill_to_one_cache_key(self, graph):
+        implicit = canonicalize_params("pagerank", {}, graph)
+        explicit = canonicalize_params(
+            "pagerank", {"num_supersteps": 30, "damping": 0.85}, graph
+        )
+        assert implicit == explicit
+
+    def test_unknown_algorithm(self, graph):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            canonicalize_params("nope", {}, graph)
+
+    def test_unknown_parameter(self, graph):
+        with pytest.raises(ValueError, match="unknown parameter"):
+            canonicalize_params("cc", {"source": 0}, graph)
+
+    def test_missing_required(self, graph):
+        with pytest.raises(ValueError, match="source"):
+            canonicalize_params("bfs", {}, graph)
+
+    def test_source_out_of_range(self, graph):
+        with pytest.raises(ValueError, match="out of range"):
+            canonicalize_params(
+                "bfs", {"source": graph.num_vertices}, graph
+            )
+
+    def test_bad_types_rejected(self, graph):
+        with pytest.raises(ValueError, match="integer"):
+            canonicalize_params("kcore", {"k": "two"}, graph)
+        with pytest.raises(ValueError, match="damping"):
+            canonicalize_params("pagerank", {"damping": 1.5}, graph)
+
+
+class TestJobManager:
+    def test_failure_marks_failed_with_error(self):
+        def explode(job):
+            raise RuntimeError("kaboom")
+
+        mgr = JobManager(explode, num_threads=1)
+        try:
+            job = mgr.submit("cc", {})
+            done = mgr.wait(job.job_id)
+            assert done.status == "failed"
+            assert "kaboom" in done.error
+        finally:
+            mgr.shutdown()
+
+    def test_drain_finishes_in_flight_job(self):
+        release = threading.Event()
+        started = threading.Event()
+
+        def slow(job):
+            started.set()
+            assert release.wait(timeout=30)
+            return {"ok": True}, False
+
+        mgr = JobManager(slow, num_threads=1)
+        job = mgr.submit("cc", {})
+        queued = mgr.submit("cc", {})  # still in the queue at shutdown
+        assert started.wait(timeout=30)
+        shutter = threading.Thread(target=mgr.shutdown)
+        shutter.start()
+        with pytest.raises(RuntimeError, match="shut down"):
+            # Drain is underway: no new work accepted...
+            time.sleep(0.05)
+            mgr.submit("cc", {})
+        release.set()
+        shutter.join(timeout=30)
+        # ...but both the in-flight and the queued job completed.
+        assert mgr.get(job.job_id).status == "done"
+        assert mgr.get(queued.job_id).status == "done"
+
+    def test_submit_order_preserved(self):
+        mgr = JobManager(lambda job: ({}, False), num_threads=1)
+        try:
+            ids = [mgr.submit("cc", {}).job_id for _ in range(5)]
+            assert [j.job_id for j in mgr.list_jobs()] == ids
+        finally:
+            mgr.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# HTTP tier against the warm service
+# ---------------------------------------------------------------------------
+
+
+class TestServiceHTTP:
+    def test_health_and_graph(self, client, graph):
+        code, body = client.get("/health")
+        assert code == 200 and body["status"] == "ok"
+        assert body["graph"]["num_vertices"] == graph.num_vertices
+        assert body["algorithms"] == list(ALGORITHMS)
+        code, info = client.get("/graph")
+        assert code == 200
+        assert info["fingerprint"] == graph.fingerprint()
+
+    def test_submit_poll_fetch_matches_library(self, client, graph):
+        code, sub = client.post(
+            "/jobs", {"algorithm": "cc", "params": {}}
+        )
+        assert code == 202 and sub["status"] == "submitted"
+        done = client.wait(sub["job_id"])
+        assert done["started_at"] is not None
+        assert done["finished_at"] is not None
+        code, res = client.get(f"/jobs/{sub['job_id']}/result")
+        assert code == 200
+        lib = bsp_connected_components(graph)
+        assert res["result"]["values"] == lib.labels.tolist()
+        assert res["result"]["num_components"] == lib.num_components
+        assert res["result"]["num_supersteps"] == lib.num_supersteps
+
+    def test_every_algorithm_serves_bit_identical_values(
+        self, client, graph, service
+    ):
+        lib = {
+            "sssp": bsp_sssp(graph, 5).distances.tolist(),
+            "kcore": np.asarray(
+                bsp_k_core(graph, 2).in_core, dtype=bool
+            ).tolist(),
+            "triangles": bsp_count_triangles(
+                graph, num_workers=service.num_workers
+            ).per_vertex.tolist(),
+        }
+        params = {"sssp": {"source": 5}, "kcore": {"k": 2}, "triangles": {}}
+        jobs = {}
+        for algo in lib:
+            code, sub = client.post(
+                "/jobs", {"algorithm": algo, "params": params[algo]}
+            )
+            assert code == 202
+            jobs[algo] = sub["job_id"]
+        for algo, jid in jobs.items():
+            assert client.wait(jid)["status"] == "done"
+            _, res = client.get(f"/jobs/{jid}/result")
+            served = res["result"]["values"]
+            # sssp serializes +inf (unreachable) as null.
+            expect = [
+                None if isinstance(v, float) and not np.isfinite(v) else v
+                for v in lib[algo]
+            ]
+            assert served == expect, f"{algo} diverged from the library call"
+
+    def test_concurrent_submits_from_eight_threads(self, client, graph):
+        sources = list(range(8))
+        outcomes: dict[int, dict] = {}
+        errors: list[Exception] = []
+
+        def one_client(source: int) -> None:
+            try:
+                code, sub = client.post(
+                    "/jobs",
+                    {"algorithm": "bfs", "params": {"source": source}},
+                )
+                assert code == 202, sub
+                done = client.wait(sub["job_id"])
+                assert done["status"] == "done", done
+                _, res = client.get(f"/jobs/{sub['job_id']}/result")
+                outcomes[source] = res["result"]
+            except Exception as exc:  # surfaced below, with context
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=one_client, args=(s,)) for s in sources
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors, errors
+        assert sorted(outcomes) == sources
+        for source, result in outcomes.items():
+            lib = bsp_breadth_first_search(graph, source)
+            assert result["values"] == lib.distances.tolist(), (
+                f"bfs from {source} diverged under concurrency"
+            )
+
+    def test_cache_hit_skips_recompute(self, client, service):
+        tel = service.telemetry
+
+        def counter_total(name):
+            return sum(
+                int(c.value) for c in tel.counters if c.name == name
+            )
+
+        def job_spans():
+            return len(tel.spans_named("job"))
+
+        params = {"algorithm": "kcore", "params": {"k": 3}}
+        _, first = client.post("/jobs", params)
+        assert client.wait(first["job_id"])["status"] == "done"
+        misses0 = counter_total("service_cache_miss")
+        hits0 = counter_total("service_cache_hit")
+        spans0 = job_spans()
+
+        _, second = client.post("/jobs", params)
+        done = client.wait(second["job_id"])
+        assert done["cached"] is True
+        _, res = client.get(f"/jobs/{second['job_id']}/result")
+        assert res["cached"] is True
+        # Telemetry proves no recompute: one hit counter, no new job span.
+        assert counter_total("service_cache_hit") == hits0 + 1
+        assert counter_total("service_cache_miss") == misses0
+        assert job_spans() == spans0
+
+        _, first_res = client.get(f"/jobs/{first['job_id']}/result")
+        assert res["result"] == first_res["result"]
+
+    def test_cache_key_covers_default_params(self, client, service):
+        hits_before = service.cache.stats()["hits"]
+        explicit = {
+            "algorithm": "pagerank",
+            "params": {"num_supersteps": 30, "damping": 0.85},
+        }
+        implicit = {"algorithm": "pagerank", "params": {}}
+        _, a = client.post("/jobs", explicit)
+        assert client.wait(a["job_id"])["status"] == "done"
+        _, b = client.post("/jobs", implicit)
+        assert client.wait(b["job_id"])["cached"] is True
+        assert service.cache.stats()["hits"] == hits_before + 1
+
+    def test_submit_validation_errors_are_400(self, client):
+        for payload in (
+            {"algorithm": "nope"},
+            {"algorithm": "bfs", "params": {}},
+            {"algorithm": "bfs", "params": {"source": -1}},
+            {"algorithm": "cc", "params": {"k": 1}},
+            {"params": {}},
+        ):
+            code, body = client.post("/jobs", payload)
+            assert code == 400, payload
+            assert "error" in body
+
+    def test_malformed_json_is_400(self, client):
+        req = urllib.request.Request(
+            client.base + "/jobs", data=b"{not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req, timeout=30)
+        assert err.value.code == 400
+
+    def test_unknown_routes_and_jobs_are_404(self, client):
+        assert client.get("/nope")[0] == 404
+        assert client.get("/jobs/job-999999")[0] == 404
+        assert client.get("/jobs/job-999999/result")[0] == 404
+
+    def test_result_before_done_is_409(self, service, client):
+        release = threading.Event()
+        # Hold the engine lock so the next engine-backed job stays queued
+        # behind it, then poll its result while it cannot have finished.
+        with service.engine._lifecycle_lock:
+            code, sub = client.post(
+                "/jobs", {"algorithm": "bfs", "params": {"source": 9}}
+            )
+            assert code == 202
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                code, body = client.get(f"/jobs/{sub['job_id']}/result")
+                if code == 409:
+                    assert body["status"] in ("submitted", "running")
+                    break
+                time.sleep(0.005)
+            else:  # pragma: no cover - diagnostic
+                pytest.fail("job finished before the 409 window was seen")
+        release.set()
+        assert client.wait(sub["job_id"])["status"] == "done"
+
+    def test_telemetry_and_trace_endpoints(self, client):
+        code, report = client.get("/telemetry")
+        assert code == 200
+        assert report["service"]["cache"]["hits"] >= 1
+        assert report["service"]["jobs"]["done"] >= 1
+        assert any(
+            c["name"] == "service_cache_hit" for c in report["counters"]
+        )
+        code, trace = client.get("/trace")
+        assert code == 200
+        assert trace["traceEvents"]
+
+    def test_jobs_listing(self, client):
+        code, body = client.get("/jobs")
+        assert code == 200
+        assert len(body["jobs"]) >= 1
+        assert all("job_id" in j for j in body["jobs"])
+
+
+class TestFailedJobPropagation:
+    def test_runtime_failure_surfaces_error(self):
+        """cc on a directed graph passes submit validation but fails in
+        the runner; the error must reach the client, not vanish."""
+        directed = from_edge_list(
+            [(0, 1), (1, 2), (2, 0)], directed=True
+        )
+        with GraphAnalyticsService(
+            directed, num_workers=1, job_threads=1, cache_capacity=4
+        ) as svc:
+            job = svc.submit("cc", {})
+            done = svc.jobs.wait(job.job_id)
+            assert done.status == "failed"
+            assert "undirected" in done.error
+
+    def test_failed_result_is_500_over_http(self):
+        directed = from_edge_list([(0, 1), (1, 2)], directed=True)
+        svc = GraphAnalyticsService(
+            directed, num_workers=1, job_threads=1, cache_capacity=4
+        )
+        server = build_server(svc, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        client = Client(f"http://{host}:{port}")
+        try:
+            code, sub = client.post(
+                "/jobs", {"algorithm": "kcore", "params": {"k": 1}}
+            )
+            assert code == 202
+            assert client.wait(sub["job_id"])["status"] == "failed"
+            code, body = client.get(f"/jobs/{sub['job_id']}/result")
+            assert code == 500
+            assert "undirected" in body["error"]
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+            svc.close()
+
+
+class TestGracefulShutdown:
+    def test_close_drains_in_flight_job_and_engine(self):
+        graph = rmat(scale=6, edge_factor=8, seed=5)
+        svc = GraphAnalyticsService(
+            graph, num_workers=2, job_threads=1, cache_capacity=4
+        )
+        jobs = [
+            svc.submit("pagerank", {"num_supersteps": 20}),
+            svc.submit("bfs", {"source": 2}),
+        ]
+        svc.close()  # drain: both jobs must have completed
+        for job in jobs:
+            assert svc.jobs.get(job.job_id).status == "done"
+        assert svc.engine.closed
+        # No orphaned worker processes.
+        assert all(not p.is_alive() for p in svc.engine._procs)
+        with pytest.raises(RuntimeError):
+            svc.submit("cc", {})
+
+    def test_http_shutdown_endpoint_stops_serve_loop(self):
+        graph = rmat(scale=6, edge_factor=8, seed=5)
+        svc = GraphAnalyticsService(
+            graph, num_workers=1, job_threads=1, cache_capacity=4
+        )
+        server = build_server(svc, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        client = Client(f"http://{host}:{port}")
+        code, sub = client.post(
+            "/jobs", {"algorithm": "cc", "params": {}}
+        )
+        assert code == 202
+        code, body = client.post("/shutdown")
+        assert code == 202 and body["status"] == "shutting-down"
+        thread.join(timeout=30)
+        assert not thread.is_alive(), "serve loop did not stop"
+        server.server_close()
+        svc.close()  # the CLI epilogue: drain after the socket closes
+        assert svc.jobs.get(sub["job_id"]).status == "done"
+        assert svc.engine.closed
+
+    def test_close_is_idempotent(self):
+        graph = rmat(scale=5, edge_factor=8, seed=5)
+        svc = GraphAnalyticsService(graph, num_workers=1, job_threads=1)
+        svc.close()
+        svc.close()
+        assert svc.engine.closed

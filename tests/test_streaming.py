@@ -83,6 +83,13 @@ class TestStreamingGraph:
                 from_edge_list([(0, 1)], directed=True)
             )
 
+    def test_from_csr_weighted_rejected(self):
+        """Regression: weighted snapshots used to seed silently, dropping
+        the weight array on the floor."""
+        weighted = from_edge_list([(0, 1), (1, 2)], weights=[1.5, 2.5])
+        with pytest.raises(ValueError, match="weighted graphs are not"):
+            StreamingGraph.from_csr(weighted)
+
     @given(st.data())
     @settings(max_examples=40, deadline=None)
     def test_matches_set_semantics(self, data):
