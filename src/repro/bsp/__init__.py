@@ -59,6 +59,10 @@ from repro.bsp.dense import (
     DenseVertexProgram,
 )
 from repro.bsp.engine import BSPEngine, BSPResult
+from repro.bsp.frontier import (
+    DEFAULT_FRONTIER_POLICY,
+    FrontierPolicy,
+)
 from repro.bsp.messages import MessageBuffer
 from repro.bsp.parallel import (
     PARTITION_POLICIES,
@@ -122,7 +126,9 @@ def make_engine(graph, mode="dense", *, num_workers=None, **kwargs):
 
 
 __all__ = [
+    "DEFAULT_FRONTIER_POLICY",
     "ENGINE_MODES",
+    "FrontierPolicy",
     "PARTITION_POLICIES",
     "ShardedBSPEngine",
     "ShardedWorkerError",

@@ -1,0 +1,170 @@
+"""Wire codecs for the sharded engine's worker pipes.
+
+Every parent↔worker message crosses an OS pipe.  The engine historically
+let :class:`multiprocessing.connection.Connection` pickle whole command
+tuples — convenient, but each per-superstep frame then carries pickle's
+object framing (class markers, dtype descriptors, shape tuples) around
+what is really one int64 vector.  The ``packed`` codec replaces that
+with fixed binary frames: a one-byte command code, a little-endian
+struct header, and the sender ids as raw ``tobytes`` payload — decoded
+with ``np.frombuffer`` on the other side.  Sender sets are always
+transmitted as sparse vertex ids (never per-vertex masks), so frame size
+tracks the frontier, not the graph.
+
+The ``pickle`` codec preserves the legacy encoding, but routed through
+``send_bytes`` so both codecs count exact bytes-on-pipe.  Engine-level
+``pipe_bytes`` totals and the per-superstep ``pipe_bytes`` /
+``pipe_bytes_legacy`` telemetry counters are built on these counts; the
+two codecs are interchangeable per engine (``wire=`` parameter /
+``REPRO_SHARDED_WIRE``) and produce bit-identical results — asserted by
+the packing smoke in ``tests/test_frontier.py``.
+
+Command tuples carried (shapes shared by both codecs):
+
+* ``("run", program, values_name, dtype_str, gathered_name)`` — once per
+  run; the program object has no fixed layout, so even the packed codec
+  pickles this frame's body.
+* ``("scatter", generation, senders, mode)`` /
+  ``("gather", generation, senders, mode)`` — per superstep; ``senders``
+  is an int64 id array, ``mode`` a :mod:`repro.bsp.frontier` name.
+* ``("close",)``
+* ``("ok", *ints)`` — worker replies; every element is int-coercible.
+* ``("error", text)`` — worker traceback.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+
+import numpy as np
+
+from repro.bsp.frontier import DENSE, SPARSE
+
+__all__ = [
+    "WIRE_FORMATS",
+    "PackedWire",
+    "PickleWire",
+    "legacy_frame_size",
+    "make_wire",
+]
+
+#: Wire formats understood by the sharded engine.
+WIRE_FORMATS = ("packed", "pickle")
+
+_CMD_RUN = 0x01
+_CMD_SCATTER = 0x02
+_CMD_GATHER = 0x03
+_CMD_CLOSE = 0x04
+_REPLY_OK = 0x00
+_REPLY_ERR = 0x7F
+
+_MODE_CODE = {SPARSE: 0, DENSE: 1}
+_MODE_NAME = {0: SPARSE, 1: DENSE}
+
+# Header of a scatter/gather frame after the command byte:
+# generation (int64), frontier-mode code (uint8), sender count (int64).
+_ARRAY_HEADER = struct.Struct("<qBq")
+_OK_HEADER = struct.Struct("<B")
+
+
+class PackedWire:
+    """Fixed binary frames; sender ids travel as raw int64 bytes."""
+
+    name = "packed"
+
+    def send(self, conn, msg: tuple) -> int:
+        """Encode ``msg``, write it with ``send_bytes``, return frame size."""
+        frame = self._encode(msg)
+        conn.send_bytes(frame)
+        return len(frame)
+
+    def recv(self, conn) -> tuple[tuple, int]:
+        """Read one frame; return ``(message, frame_size)``."""
+        buf = conn.recv_bytes()
+        return self._decode(buf), len(buf)
+
+    @staticmethod
+    def _encode(msg: tuple) -> bytes:
+        cmd = msg[0]
+        if cmd == "scatter" or cmd == "gather":
+            _, gen, senders, mode = msg
+            senders = np.ascontiguousarray(senders, dtype=np.int64)
+            code = _CMD_SCATTER if cmd == "scatter" else _CMD_GATHER
+            return (
+                bytes([code])
+                + _ARRAY_HEADER.pack(int(gen), _MODE_CODE[mode], senders.size)
+                + senders.tobytes()
+            )
+        if cmd == "ok":
+            ints = [int(v) for v in msg[1:]]
+            return (
+                bytes([_REPLY_OK])
+                + _OK_HEADER.pack(len(ints))
+                + struct.pack(f"<{len(ints)}q", *ints)
+            )
+        if cmd == "error":
+            return bytes([_REPLY_ERR]) + msg[1].encode("utf-8", "replace")
+        if cmd == "run":
+            return bytes([_CMD_RUN]) + pickle.dumps(
+                msg[1:], protocol=pickle.HIGHEST_PROTOCOL
+            )
+        if cmd == "close":
+            return bytes([_CMD_CLOSE])
+        raise ValueError(f"unknown wire command {cmd!r}")
+
+    @staticmethod
+    def _decode(buf: bytes) -> tuple:
+        code = buf[0]
+        if code == _CMD_SCATTER or code == _CMD_GATHER:
+            gen, mode_code, count = _ARRAY_HEADER.unpack_from(buf, 1)
+            senders = np.frombuffer(
+                buf, dtype=np.int64, count=count, offset=1 + _ARRAY_HEADER.size
+            )
+            cmd = "scatter" if code == _CMD_SCATTER else "gather"
+            return (cmd, gen, senders, _MODE_NAME[mode_code])
+        if code == _REPLY_OK:
+            (count,) = _OK_HEADER.unpack_from(buf, 1)
+            ints = struct.unpack_from(f"<{count}q", buf, 1 + _OK_HEADER.size)
+            return ("ok", *ints)
+        if code == _REPLY_ERR:
+            return ("error", buf[1:].decode("utf-8", "replace"))
+        if code == _CMD_RUN:
+            return ("run", *pickle.loads(buf[1:]))
+        if code == _CMD_CLOSE:
+            return ("close",)
+        raise ValueError(f"unknown wire code {code:#x}")
+
+
+class PickleWire:
+    """Legacy whole-tuple pickling, made byte-countable via send_bytes."""
+
+    name = "pickle"
+
+    def send(self, conn, msg: tuple) -> int:
+        frame = pickle.dumps(msg, protocol=pickle.HIGHEST_PROTOCOL)
+        conn.send_bytes(frame)
+        return len(frame)
+
+    def recv(self, conn) -> tuple[tuple, int]:
+        buf = conn.recv_bytes()
+        return pickle.loads(buf), len(buf)
+
+
+def make_wire(name: str):
+    """Instantiate a wire codec by format name."""
+    if name == "packed":
+        return PackedWire()
+    if name == "pickle":
+        return PickleWire()
+    raise ValueError(f"wire must be one of {WIRE_FORMATS}, got {name!r}")
+
+
+def legacy_frame_size(msg: tuple) -> int:
+    """Bytes the legacy pickle codec would put on the pipe for ``msg``.
+
+    Used to report the ``pipe_bytes_legacy`` counterfactual next to the
+    packed codec's actual ``pipe_bytes`` (telemetry-only; never on the
+    hot path when telemetry is disabled).
+    """
+    return len(pickle.dumps(msg, protocol=pickle.HIGHEST_PROTOCOL))

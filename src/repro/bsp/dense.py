@@ -11,12 +11,23 @@ combiner-fused scatter/gather:
 * **scatter** — the end of a superstep designates a set of *senders*;
   every sender floods one message along each of its out-arcs (the
   flooding idiom all of the paper's algorithms share).  The messages are
-  never materialized as Python objects: the arc slice out of the sender
-  set (:func:`~repro.bsp._scatter.arcs_from`) *is* the message queue.
-* **gather** — at the start of the next superstep the per-arc payloads
-  are produced in one vectorized call and folded per destination with a
-  NumPy ufunc (``np.minimum.at`` for label/distance flooding,
-  ``np.add.at`` for rank/notice accumulation).
+  never materialized as Python objects: the arc selection out of the
+  sender set *is* the message queue.  The selection itself is
+  frontier-adaptive (:mod:`repro.bsp.frontier`): a sparse arc-index
+  array while the frontier is small, a boolean mask once the
+  frontier-incident arc count crosses the GBBS-style ``m / k``
+  threshold, so low-activity supersteps (BFS tails, CC late rounds,
+  SSSP settling) stop paying ``O(n + m)`` sweeps.
+* **gather** — the per-arc payloads are produced in one vectorized call
+  and folded per destination with a NumPy ufunc (``np.minimum.at`` for
+  label/distance flooding, ``np.add.at`` for rank/notice accumulation).
+  Delivery is *lazy*: the modeled message accounting (sent/received
+  counts, receiver set, per-destination enqueue histogram) is always
+  computed — it is what the paper's Fig. 2/Fig. 3 reproductions price —
+  but the payload gather + combine fold only executes if the program
+  actually reads ``ctx.messages``.  Programs that can update state from
+  the receiver set alone (direction-optimizing BFS) skip the delivered
+  work entirely while their modeled counts stay bit-identical.
 
 The engine mirrors the reference engine's control flow step for step —
 active-set selection (receivers ∪ not-halted), vote-to-halt semantics,
@@ -32,14 +43,20 @@ suite in ``tests/test_dense_engine.py``).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Iterable
+from typing import Any, Callable, Iterable
 
 import numpy as np
 
-from repro.bsp._scatter import arcs_from, enqueue_histogram
+from repro.bsp._scatter import enqueue_histogram
 from repro.bsp.aggregators import Aggregator
 from repro.bsp.checkpoint import Checkpoint, CheckpointStore
 from repro.bsp.engine import BSPResult
+from repro.bsp.frontier import (
+    DEFAULT_FRONTIER_POLICY,
+    DENSE,
+    FrontierPolicy,
+    select_arcs,
+)
 from repro.bsp.instrumentation import record_superstep
 from repro.graph.csr import CSRGraph
 from repro.runtime.loops import Tracer
@@ -62,7 +79,14 @@ class DenseSuperstepContext:
     are valid only for the duration of the ``compute`` call.
     """
 
-    __slots__ = ("_engine", "superstep", "active", "receivers", "messages")
+    __slots__ = (
+        "_engine",
+        "superstep",
+        "active",
+        "receivers",
+        "_inbox",
+        "_messages",
+    )
 
     def __init__(
         self,
@@ -70,7 +94,7 @@ class DenseSuperstepContext:
         superstep: int,
         active: np.ndarray,
         receivers: np.ndarray,
-        messages: np.ndarray | None,
+        inbox: Callable[[], np.ndarray] | None,
     ):
         self._engine = engine
         #: Current superstep number (0-based).
@@ -80,10 +104,8 @@ class DenseSuperstepContext:
         self.active = active
         #: Sorted vertex ids with at least one incoming message.
         self.receivers = receivers
-        #: Length-``num_vertices`` array of combiner-folded incoming
-        #: messages (``combine_identity`` where nothing arrived); ``None``
-        #: in superstep 0.
-        self.messages = messages
+        self._inbox = inbox
+        self._messages: np.ndarray | None = None
 
     # -- state ---------------------------------------------------------
     @property
@@ -101,6 +123,25 @@ class DenseSuperstepContext:
         """Per-vertex state array (mutate in place to update state)."""
         return self._engine.values
 
+    @property
+    def messages(self) -> np.ndarray | None:
+        """Length-``num_vertices`` array of combiner-folded incoming
+        messages (``combine_identity`` where nothing arrived); ``None``
+        in superstep 0.
+
+        Delivery is lazy: the payload gather + combine fold (and, on the
+        sharded engine, the gather pipe exchange) run on first access
+        and the result is cached for the rest of the superstep.  A
+        program that never reads this property skips the delivered work
+        entirely; the modeled message counts are unaffected.  Payloads
+        are evaluated from the *current* ``values``, so read
+        ``messages`` before mutating ``values``.
+        """
+        if self._messages is None and self._inbox is not None:
+            self._messages = self._inbox()
+            self._inbox = None
+        return self._messages
+
     # -- control -------------------------------------------------------
     def vote_to_halt(self, vertices: np.ndarray | None = None) -> None:
         """Deactivate ``vertices`` (default: every computing vertex)
@@ -109,6 +150,18 @@ class DenseSuperstepContext:
             self._engine.halted[self.active] = True
         else:
             self._engine.halted[np.asarray(vertices, dtype=np.int64)] = True
+
+    # -- telemetry ------------------------------------------------------
+    def counter(self, name: str, value: int) -> None:
+        """Record a program-side telemetry counter for this superstep.
+
+        No-op when telemetry is disabled; never affects results or the
+        modeled work trace.  Used e.g. by direction-optimizing BFS to
+        report its ``direction`` and ``edges_scanned`` per superstep.
+        """
+        tel = self._engine.telemetry
+        if tel.enabled:
+            tel.counter(name, int(value), superstep=self.superstep)
 
     # -- aggregators ---------------------------------------------------
     def aggregate(self, name: str, value: Any) -> None:
@@ -137,6 +190,10 @@ class DenseVertexProgram(ABC):
     twin.  Programs whose ``compute`` consumes messages one by one (and
     not through an associative fold) do not fit the dense mode; run them
     on the reference engine.
+
+    ``ctx.messages`` is materialized lazily from the current ``values``
+    on first access; a ``compute`` that reads it must do so *before*
+    mutating ``ctx.values`` (all in-tree programs read messages first).
     """
 
     #: Per-destination delivery fold: a NumPy ufunc supporting ``.at``
@@ -155,16 +212,20 @@ class DenseVertexProgram(ABC):
 
     @abstractmethod
     def arc_payload(
-        self, graph: CSRGraph, values: np.ndarray, arc_mask: np.ndarray
+        self, graph: CSRGraph, values: np.ndarray, selection: np.ndarray
     ) -> np.ndarray:
         """Message values carried by the selected arcs.
 
-        ``arc_mask`` is a boolean mask over the graph's arc array
-        selecting every out-arc of the previous superstep's senders; the
-        result must be parallel to ``graph.col_idx[arc_mask]``.  Payloads
-        are evaluated lazily at delivery time, which is equivalent to
-        eager sending because a sender's state cannot change between the
-        end of the superstep that sent and the delivery barrier.
+        ``selection`` picks every out-arc of the previous superstep's
+        senders out of the graph's arc array, as either a boolean mask
+        or a sorted int64 index array (:mod:`repro.bsp.frontier` decides
+        per superstep); both index arc-parallel arrays identically, so
+        implementations must treat it as an opaque fancy index.  The
+        result must be parallel to ``graph.col_idx[selection]``.
+        Payloads are evaluated lazily at delivery time, which is
+        equivalent to eager sending because a sender's state cannot
+        change between the end of the superstep that sent and the
+        delivery barrier.
         """
 
     @abstractmethod
@@ -174,6 +235,8 @@ class DenseVertexProgram(ABC):
         Update ``ctx.values`` in place for the vertices in ``ctx.active``,
         vote halts via ``ctx.vote_to_halt``, and return the sender set for
         the next superstep (``None`` or an empty array to send nothing).
+        The sender set must be sorted ascending and duplicate-free (the
+        engine normalizes defensively, at a cost).
         """
 
 
@@ -200,13 +263,21 @@ class DenseBSPEngine:
         ``messages_per_superstep`` / ``received`` and the work trace
         change.  (The reference engine's ``combiner`` folds *after* the
         enqueue accounting, so its counts equal the default mode here.)
+    frontier_policy:
+        Sparse/dense arc-selection switching rule
+        (:class:`~repro.bsp.frontier.FrontierPolicy`; default: the
+        GBBS-style ``m / k`` heuristic).  Affects only execution speed —
+        results, counts, and traces are representation-independent.
+        The per-superstep decision is recorded as the ``frontier_mode``
+        telemetry counter (0 sparse, 1 dense).
     aggregators:
         Named global aggregators available to the program.
     costs:
         Kernel accounting constants for the work trace.
     telemetry:
         Optional :class:`~repro.telemetry.core.Telemetry` receiving
-        wall-clock spans (superstep/gather/compute/scatter) and counter
+        wall-clock spans (superstep/gather/compute/scatter, plus
+        ``deliver`` when a program materializes its inbox) and counter
         samples.  Defaults to the no-op
         :data:`~repro.telemetry.core.NULL_TELEMETRY`; recording never
         alters results or the modeled work trace.
@@ -217,12 +288,16 @@ class DenseBSPEngine:
         graph: CSRGraph,
         *,
         combine_messages: bool = False,
+        frontier_policy: FrontierPolicy | None = None,
         aggregators: dict[str, Aggregator] | None = None,
         costs: KernelCosts = DEFAULT_COSTS,
         telemetry: Telemetry | None = None,
     ) -> None:
         self.graph = graph
         self.combine_messages = combine_messages
+        self.frontier_policy = (
+            DEFAULT_FRONTIER_POLICY if frontier_policy is None else frontier_policy
+        )
         self.costs = costs
         self.telemetry = NULL_TELEMETRY if telemetry is None else telemetry
         #: Superstep the telemetry hooks attribute phase spans to.
@@ -234,8 +309,10 @@ class DenseBSPEngine:
         self._agg_current: dict[str, Any] = {}
         self._agg_visible: dict[str, Any] = {}
         # Pending-scatter state shared with the gather of the next
-        # superstep (see _scatter/_gather).
-        self._pending_mask: np.ndarray | None = None
+        # superstep (see _scatter/_gather): the arc selection (mask or
+        # index array), the raw flood size, and the enqueue histogram.
+        self._pending_sel: np.ndarray | None = None
+        self._pending_raw: int = 0
         self._pending_hist: np.ndarray | None = None
 
     # -- aggregator plumbing (called through DenseSuperstepContext) ----
@@ -347,9 +424,9 @@ class DenseBSPEngine:
             superstep = 0
 
         self._begin_run(program, values0)
-        # The pending-scatter state (arc mask / enqueue histogram of the
-        # current senders) is carried across supersteps so scatter
-        # (enqueue accounting) and gather (delivery) share one mask
+        # The pending-scatter state (arc selection / enqueue histogram of
+        # the current senders) is carried across supersteps so scatter
+        # (enqueue accounting) and gather (delivery) share one selection
         # computation and the receiver set falls out of the histogram
         # instead of a sort.  It is empty right after a resume and is
         # recomputed from the senders.
@@ -368,13 +445,13 @@ class DenseBSPEngine:
             if superstep == 0:
                 compute_set = active0
                 receivers = np.empty(0, dtype=np.int64)
-                gathered = None
+                inbox = None
                 received = 0
             else:
                 with tel.span(
                     "gather", category="phase", superstep=superstep
                 ):
-                    gathered, receivers, raw_received = self._gather(
+                    inbox, receivers, raw_received = self._gather(
                         program, senders, identity
                     )
                 if self.halted.all():
@@ -397,7 +474,7 @@ class DenseBSPEngine:
             }
             self.halted[compute_set] = False  # computing re-activates
             ctx = DenseSuperstepContext(
-                self, superstep, compute_set, receivers, gathered
+                self, superstep, compute_set, receivers, inbox
             )
             with tel.span("compute", category="phase", superstep=superstep):
                 new_senders = program.compute(ctx)
@@ -405,6 +482,13 @@ class DenseBSPEngine:
                 new_senders = np.empty(0, dtype=np.int64)
             else:
                 new_senders = np.asarray(new_senders, dtype=np.int64)
+                # Sparse and dense arc selections agree only for sorted,
+                # duplicate-free sender sets (the program contract);
+                # normalize defensively when a program strays.
+                if new_senders.size > 1 and bool(
+                    np.any(np.diff(new_senders) <= 0)
+                ):
+                    new_senders = np.unique(new_senders)
 
             with tel.span("scatter", category="phase", superstep=superstep):
                 sent_raw, enq = self._scatter(program, new_senders)
@@ -474,53 +558,91 @@ class DenseBSPEngine:
 
     def _scatter_reset(self) -> None:
         """Drop pending-scatter state (start of a run or resume)."""
-        self._pending_mask = None
+        self._pending_sel = None
+        self._pending_raw = 0
         self._pending_hist = None
+
+    def _choose_mode(self, senders: np.ndarray, frontier_arcs: int) -> str:
+        """Frontier representation for one sender set (policy + counter)."""
+        mode = self.frontier_policy.choose(
+            superstep=self._tel_superstep,
+            frontier_size=int(senders.size),
+            frontier_arcs=int(frontier_arcs),
+            num_vertices=self.graph.num_vertices,
+            num_arcs=self.graph.num_arcs,
+        )
+        if self.telemetry.enabled:
+            self.telemetry.counter(
+                "frontier_mode",
+                1 if mode == DENSE else 0,
+                superstep=self._tel_superstep,
+            )
+        return mode
 
     def _gather(
         self,
         program: DenseVertexProgram,
         senders: np.ndarray,
         identity: Any,
-    ) -> tuple[np.ndarray, np.ndarray, int]:
-        """Deliver the pending senders' messages.
+    ) -> tuple[Callable[[], np.ndarray], np.ndarray, int]:
+        """Stats pass for the pending senders' messages.
 
-        Returns ``(gathered, receivers, raw_received)``: the per-vertex
-        combiner-folded message array, the sorted receiver set, and the
-        pre-fold message count (one per arc out of a sender).
+        Returns ``(inbox, receivers, raw_received)``: a zero-argument
+        materializer producing the per-vertex combiner-folded message
+        array (invoked lazily on first ``ctx.messages`` access, or not
+        at all), the sorted receiver set, and the pre-fold message count
+        (one per arc out of a sender).  The modeled accounting —
+        receivers and raw count — is computed here unconditionally; only
+        the delivered work (payload + fold) is deferred.
         """
         graph = self.graph
         n = graph.num_vertices
-        if senders.size:
-            arc_mask = (
-                self._pending_mask
-                if self._pending_mask is not None
-                else arcs_from(senders, graph.row_ptr)
+        mdtype = program.message_dtype
+
+        if not senders.size:
+
+            def empty_inbox() -> np.ndarray:
+                return np.full(n, identity, dtype=mdtype)
+
+            return empty_inbox, np.empty(0, dtype=np.int64), 0
+
+        if self._pending_sel is None:  # resumed run: no prior scatter
+            raw = int(graph.degrees()[senders].sum())
+            mode = self._choose_mode(senders, raw)
+            self._pending_sel = select_arcs(senders, graph.row_ptr, mode)
+            self._pending_raw = raw
+        if self._pending_hist is None:
+            self._pending_hist = enqueue_histogram(
+                graph.col_idx[self._pending_sel], n
             )
-            dst = graph.col_idx[arc_mask]
-            payload = np.asarray(
-                program.arc_payload(graph, self.values, arc_mask)
-            )
-            if self._pending_hist is None:
-                self._pending_hist = enqueue_histogram(dst, n)
-        else:
-            dst = np.empty(0, dtype=np.int64)
-            payload = np.empty(0, dtype=program.message_dtype)
-        gathered = np.full(n, identity, dtype=program.message_dtype)
-        if dst.size:
-            program.combine.at(gathered, dst, payload)
+        sel = self._pending_sel
+        raw = self._pending_raw
         receivers = (
             np.flatnonzero(self._pending_hist)
-            if dst.size
+            if raw
             else np.empty(0, dtype=np.int64)
         )
-        if self.telemetry.enabled:
-            self.telemetry.counter(
-                "bytes_delivered",
-                int(payload.nbytes),
-                superstep=self._tel_superstep,
-            )
-        return gathered, receivers, int(dst.size)
+        superstep = self._tel_superstep
+
+        def inbox() -> np.ndarray:
+            tel = self.telemetry
+            with tel.span("deliver", category="phase", superstep=superstep):
+                dst = graph.col_idx[sel]
+                payload = np.asarray(
+                    program.arc_payload(graph, self.values, sel)
+                )
+                gathered = np.full(n, identity, dtype=mdtype)
+                if dst.size:
+                    program.combine.at(gathered, dst, payload)
+            if tel.enabled:
+                tel.counter(
+                    "bytes_delivered",
+                    int(payload.nbytes),
+                    superstep=superstep,
+                )
+            return gathered
+
+        return inbox, receivers, raw
 
     def _scatter(
         self, program: DenseVertexProgram, new_senders: np.ndarray
@@ -528,20 +650,21 @@ class DenseBSPEngine:
         """Account the new senders' outgoing flood.
 
         Returns ``(sent_raw, enqueues_per_destination)`` and retains the
-        arc mask so the next superstep's gather reuses it.
+        arc selection so the next superstep's gather reuses it.
         """
         graph = self.graph
         sent_raw = (
             int(graph.degrees()[new_senders].sum()) if new_senders.size else 0
         )
-        if sent_raw:
-            self._pending_mask = arcs_from(new_senders, graph.row_ptr)
-            enq = enqueue_histogram(
-                graph.col_idx[self._pending_mask], graph.num_vertices
-            )
-        else:
-            self._pending_mask = None
-            enq = None
+        if not sent_raw:
+            self._pending_sel = None
+            self._pending_raw = 0
+            return 0, None
+        mode = self._choose_mode(new_senders, sent_raw)
+        sel = select_arcs(new_senders, graph.row_ptr, mode)
+        self._pending_sel = sel
+        self._pending_raw = sent_raw
+        enq = enqueue_histogram(graph.col_idx[sel], graph.num_vertices)
         return sent_raw, enq
 
     # -- lifecycle -------------------------------------------------------

@@ -21,7 +21,9 @@ Design:
   cluster placement policies (:func:`~repro.cluster.partition.hash_partition`
   or :func:`~repro.cluster.partition.balanced_edge_partition`); a
   superstep's sender set is split along that assignment and each worker
-  floods only its shard's out-arcs.
+  floods only its shard's out-arcs, using the frontier-adaptive arc
+  selection (:mod:`repro.bsp.frontier`) the parent chose for the
+  superstep.
 * **Combiner merge at the barrier** — each worker folds its shard's
   messages into a private per-destination array; the parent merges the
   per-worker arrays with the program's combiner (``np.minimum`` /
@@ -32,11 +34,20 @@ Design:
   message histories and work traces stay equivalent (bit-identical for
   every exact fold; PageRank's float summation order may differ in the
   last ulp across shard boundaries, same as dense-vs-reference).
+  Delivery is lazy (see :meth:`DenseBSPEngine._gather`): the gather
+  exchange and combine only run if the program reads ``ctx.messages``,
+  so message-free supersteps cost one pipe round-trip, not two.
+* **Byte-packed pipes** — per-superstep commands cross the worker pipes
+  as fixed binary frames (:mod:`repro.bsp._wire`): raw int64 sender ids
+  behind a struct header instead of pickled tuples.  Bytes-on-pipe are
+  accounted in :attr:`ShardedBSPEngine.pipe_bytes` and, with telemetry,
+  the per-superstep ``pipe_bytes`` / ``pipe_bytes_legacy`` counters.
+  ``wire="pickle"`` keeps the legacy encoding (bit-identical results).
 * **Persistent pool with warm shard handles** — workers live for the
-  engine's lifetime and cache their shard's arc mask between the
+  engine's lifetime and cache their shard's arc selection between the
   scatter-accounting call and the delivery at the next superstep's
-  barrier, so each superstep costs two small pipe round-trips, not a
-  pool spawn.
+  barrier, so each superstep costs at most two small pipe round-trips,
+  not a pool spawn.
 
 The engine subclasses :class:`DenseBSPEngine` and overrides only the
 scatter/gather hooks; the run loop — active-set selection, vote-to-halt,
@@ -51,12 +62,13 @@ import threading
 import time
 import traceback
 from multiprocessing import get_all_start_methods, get_context, shared_memory
-from typing import Any
+from typing import Any, Callable
 
 import numpy as np
 
-from repro.bsp._scatter import arcs_from
+from repro.bsp._wire import WIRE_FORMATS, legacy_frame_size, make_wire
 from repro.bsp.dense import DenseBSPEngine, DenseVertexProgram
+from repro.bsp.frontier import FrontierPolicy, select_arcs
 from repro.cluster.partition import (
     balanced_edge_partition,
     hash_partition,
@@ -134,12 +146,14 @@ def _worker_main(conn, spec: dict) -> None:
     The worker owns one vertex shard implicitly — the parent only ever
     sends it the senders that live on its shard.  Warm state between
     tasks: the run-scoped program/values/output handles and the cached
-    (generation, arc mask, destinations) of the last scatter, reused by
-    the gather of the following superstep.
+    (generation, arc selection, destinations) of the last scatter,
+    reused by the gather of the following superstep.  All traffic is
+    encoded by the wire codec named in ``spec["wire"]``.
     """
     n = spec["num_vertices"]
     m = spec["num_arcs"]
     w = spec["worker_index"]
+    wire = make_wire(spec["wire"])
     handles: list[shared_memory.SharedMemory] = []
 
     def attach_array(name, shape, dtype):
@@ -175,19 +189,19 @@ def _worker_main(conn, spec: dict) -> None:
     values: np.ndarray | None = None
     gathered_out: np.ndarray | None = None
     run_shms: list[shared_memory.SharedMemory] = []
-    mask = dst = None
+    sel = dst = None
     generation = -1
 
-    def refresh_scatter(gen, senders):
-        nonlocal mask, dst, generation
-        mask = arcs_from(senders, row_ptr)
-        dst = col_idx[mask]
+    def refresh_scatter(gen, senders, mode):
+        nonlocal sel, dst, generation
+        sel = select_arcs(senders, row_ptr, mode)
+        dst = col_idx[sel]
         hist_out[:] = np.bincount(dst, minlength=n)
         generation = gen
 
     try:
         while True:
-            msg = conn.recv()
+            msg, _ = wire.recv(conn)
             cmd = msg[0]
             if cmd == "close":
                 return
@@ -216,50 +230,53 @@ def _worker_main(conn, spec: dict) -> None:
                         buffer=gshm.buf,
                         offset=w * n * mdtype.itemsize,
                     )
-                    mask = dst = None
+                    sel = dst = None
                     generation = -1
-                    conn.send(
+                    wire.send(
+                        conn,
                         (
                             "ok",
                             time.perf_counter_ns() - t_busy,
                             peak_rss_bytes() or 0,
-                        )
+                        ),
                     )
                 elif cmd == "scatter":
-                    _, gen, senders = msg
-                    refresh_scatter(gen, senders)
-                    conn.send(
+                    _, gen, senders, mode = msg
+                    refresh_scatter(gen, senders, mode)
+                    wire.send(
+                        conn,
                         (
                             "ok",
                             int(dst.size),
                             time.perf_counter_ns() - t_busy,
                             peak_rss_bytes() or 0,
-                        )
+                        ),
                     )
                 elif cmd == "gather":
-                    _, gen, senders = msg
+                    _, gen, senders, mode = msg
                     hist_fresh = gen != generation
-                    if hist_fresh:  # resumed run: no prior scatter call
-                        refresh_scatter(gen, senders)
+                    if hist_fresh:  # stale cache: no prior scatter call
+                        refresh_scatter(gen, senders, mode)
                     payload = np.asarray(
-                        program.arc_payload(graph, values, mask)
+                        program.arc_payload(graph, values, sel)
                     )
                     gathered_out[:] = program.combine_identity
                     if dst.size:
                         program.combine.at(gathered_out, dst, payload)
-                    conn.send(
+                    wire.send(
+                        conn,
                         (
                             "ok",
                             int(dst.size),
-                            hist_fresh,
+                            int(hist_fresh),
                             time.perf_counter_ns() - t_busy,
                             peak_rss_bytes() or 0,
-                        )
+                        ),
                     )
                 else:
-                    conn.send(("error", f"unknown command {cmd!r}"))
+                    wire.send(conn, ("error", f"unknown command {cmd!r}"))
             except Exception:
-                conn.send(("error", traceback.format_exc()))
+                wire.send(conn, ("error", traceback.format_exc()))
     except (EOFError, OSError, KeyboardInterrupt):  # parent went away
         pass
     finally:
@@ -298,11 +315,19 @@ class ShardedBSPEngine(DenseBSPEngine):
         Multiprocessing start method; default ``fork`` where available
         (cheapest pool spawn), else ``spawn``.  Override with the
         ``REPRO_SHARDED_START_METHOD`` environment variable.
-    combine_messages, aggregators, costs, telemetry:
+    wire:
+        Pipe encoding for worker traffic: ``"packed"`` (binary frames,
+        the default) or ``"pickle"`` (legacy whole-tuple pickling).
+        Results are bit-identical either way; only bytes-on-pipe differ.
+        Override the default with the ``REPRO_SHARDED_WIRE`` environment
+        variable.  Cumulative traffic is exposed as :attr:`pipe_bytes`.
+    combine_messages, frontier_policy, aggregators, costs, telemetry:
         As for :class:`DenseBSPEngine`.  With telemetry enabled the
         engine additionally records per-worker busy spans (one trace
-        row per worker), barrier spans around every exchange, and
-        per-worker busy/wait and shard-size counters.
+        row per worker), barrier spans around every exchange, per-worker
+        busy/wait and shard-size counters, and per-superstep
+        ``pipe_bytes`` (plus, under the packed wire, the
+        ``pipe_bytes_legacy`` counterfactual).
     """
 
     def __init__(
@@ -312,7 +337,9 @@ class ShardedBSPEngine(DenseBSPEngine):
         num_workers: int | None = None,
         partition: str | np.ndarray = "hash",
         start_method: str | None = None,
+        wire: str | None = None,
         combine_messages: bool = False,
+        frontier_policy: FrontierPolicy | None = None,
         aggregators: dict | None = None,
         costs: KernelCosts = DEFAULT_COSTS,
         telemetry: Telemetry | None = None,
@@ -320,6 +347,7 @@ class ShardedBSPEngine(DenseBSPEngine):
         super().__init__(
             graph,
             combine_messages=combine_messages,
+            frontier_policy=frontier_policy,
             aggregators=aggregators,
             costs=costs,
             telemetry=telemetry,
@@ -330,6 +358,16 @@ class ShardedBSPEngine(DenseBSPEngine):
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         self.num_workers = num_workers
+
+        wire = wire or os.environ.get("REPRO_SHARDED_WIRE") or "packed"
+        if wire not in WIRE_FORMATS:
+            raise ValueError(f"wire must be one of {WIRE_FORMATS}")
+        self.wire_format = wire
+        self._wire = make_wire(wire)
+        #: Cumulative bytes put on / read from the worker pipes (frame
+        #: payloads; excludes the OS pipe framing).  Always maintained,
+        #: telemetry or not — the byte-packing tests assert on it.
+        self.pipe_bytes = 0
 
         if isinstance(partition, str):
             if partition == "hash":
@@ -378,6 +416,7 @@ class ShardedBSPEngine(DenseBSPEngine):
         self._gathered: np.ndarray | None = None
         self._hist: np.ndarray | None = None
         self._shard_senders: list[np.ndarray] | None = None
+        self._shard_mode: str | None = None
         self._participants: tuple[int, ...] = ()
         self._generation = 0
         self._conns = []
@@ -389,6 +428,7 @@ class ShardedBSPEngine(DenseBSPEngine):
                 "num_arcs": graph.num_arcs,
                 "directed": graph.directed,
                 "sorted_adjacency": graph.sorted_adjacency,
+                "wire": wire,
                 "row_ptr": self._share(graph.row_ptr),
                 "col_idx": self._share(graph.col_idx),
                 "weights": (
@@ -457,24 +497,38 @@ class ShardedBSPEngine(DenseBSPEngine):
         barrier window minus the worker's busy time — the skew the
         balanced partition policies exist to shrink.  Workers append
         ``(busy_ns, peak_rss_bytes)`` to every "ok" reply.
+
+        Every exchange also totals its frame bytes (both directions)
+        into :attr:`pipe_bytes` and, when recorded, the per-superstep
+        ``pipe_bytes`` counter; under the packed wire the pickled
+        equivalent is sampled as ``pipe_bytes_legacy``.
         """
         tel = self.telemetry
+        wire = self._wire
         record = tel.enabled and phase is not None
+        count_legacy = record and self.wire_format == "packed"
+        nbytes = 0
+        legacy_bytes = 0
         t0 = tel.now()
         for w, payload in tasks.items():
-            self._conns[w].send(payload)
+            nbytes += wire.send(self._conns[w], payload)
+            if count_legacy:
+                legacy_bytes += legacy_frame_size(payload)
         replies: dict[int, tuple] = {}
         errors: list[tuple[int, str]] = []
         for w in tasks:
             try:
-                reply = self._conns[w].recv()
+                reply, reply_bytes = wire.recv(self._conns[w])
             except (EOFError, OSError):
                 errors.append((w, "worker process died"))
                 continue
+            nbytes += reply_bytes
             if reply[0] == "error":
                 errors.append((w, reply[1]))
             else:
                 replies[w] = reply
+                if count_legacy:
+                    legacy_bytes += legacy_frame_size(reply)
                 if record:
                     t_recv = tel.now()
                     busy = int(reply[-2])
@@ -487,6 +541,7 @@ class ShardedBSPEngine(DenseBSPEngine):
                         superstep=self._tel_superstep,
                         worker=w,
                     )
+        self.pipe_bytes += nbytes
         if errors:
             detail = "\n".join(
                 f"[shard worker {w}] {text}" for w, text in errors
@@ -505,6 +560,15 @@ class ShardedBSPEngine(DenseBSPEngine):
                 phase=phase,
                 workers=len(tasks),
             )
+            tel.counter(
+                "pipe_bytes", nbytes, superstep=self._tel_superstep
+            )
+            if count_legacy:
+                tel.counter(
+                    "pipe_bytes_legacy",
+                    legacy_bytes,
+                    superstep=self._tel_superstep,
+                )
             for w, reply in replies.items():
                 busy = int(reply[-2])
                 tel.counter(
@@ -578,6 +642,7 @@ class ShardedBSPEngine(DenseBSPEngine):
     def _scatter_reset(self) -> None:
         super()._scatter_reset()
         self._shard_senders = None
+        self._shard_mode = None
         self._participants = ()
 
     def _scatter(
@@ -591,9 +656,13 @@ class ShardedBSPEngine(DenseBSPEngine):
         self._generation += 1
         if not sent_raw:
             self._shard_senders = None
+            self._shard_mode = None
             self._participants = ()
+            self._pending_raw = 0
             return 0, None
         self._shard_senders = self._split(new_senders)
+        self._shard_mode = self._choose_mode(new_senders, sent_raw)
+        self._pending_raw = sent_raw
         self._participants = tuple(
             w for w, s in enumerate(self._shard_senders) if s.size
         )
@@ -607,7 +676,12 @@ class ShardedBSPEngine(DenseBSPEngine):
                 )
         self._exchange(
             {
-                w: ("scatter", self._generation, self._shard_senders[w])
+                w: (
+                    "scatter",
+                    self._generation,
+                    self._shard_senders[w],
+                    self._shard_mode,
+                )
                 for w in self._participants
             },
             phase="scatter",
@@ -619,53 +693,81 @@ class ShardedBSPEngine(DenseBSPEngine):
         program: DenseVertexProgram,
         senders: np.ndarray,
         identity: Any,
-    ) -> tuple[np.ndarray, np.ndarray, int]:
+    ) -> tuple[Callable[[], np.ndarray], np.ndarray, int]:
         n = self.graph.num_vertices
         mdtype = np.dtype(program.message_dtype)
         if not senders.size:
-            return (
-                np.full(n, identity, dtype=mdtype),
-                np.empty(0, dtype=np.int64),
-                0,
-            )
+
+            def empty_inbox() -> np.ndarray:
+                return np.full(n, identity, dtype=mdtype)
+
+            return empty_inbox, np.empty(0, dtype=np.int64), 0
+
         if self._shard_senders is None:  # resumed run: no prior scatter
+            raw = int(self.graph.degrees()[senders].sum())
             self._shard_senders = self._split(senders)
+            self._shard_mode = self._choose_mode(senders, raw)
             self._participants = tuple(
                 w for w, s in enumerate(self._shard_senders) if s.size
             )
-        participants = self._participants
-        replies = self._exchange(
-            {
-                w: ("gather", self._generation, self._shard_senders[w])
-                for w in participants
-            },
-            phase="gather",
-        )
-        tel = self.telemetry
-        raw = sum(reply[1] for reply in replies.values())
-        gathered = np.full(n, identity, dtype=mdtype)
-        # Merge the per-worker partial folds in shard order.  Exact for
-        # every idempotent/integer combine; float np.add may differ from
-        # the single-pass fold in the last ulp across shard boundaries.
-        with tel.span(
-            "combine", category="phase", superstep=self._tel_superstep
-        ):
-            for w in participants:
-                program.combine(gathered, self._gathered[w], out=gathered)
-        if tel.enabled:
-            tel.counter(
-                "bytes_delivered",
-                int(raw) * mdtype.itemsize,
-                superstep=self._tel_superstep,
+            self._generation += 1
+            self._exchange(
+                {
+                    w: (
+                        "scatter",
+                        self._generation,
+                        self._shard_senders[w],
+                        self._shard_mode,
+                    )
+                    for w in self._participants
+                },
+                phase="scatter",
             )
+            self._pending_raw = raw
+            self._pending_hist = self._merged_hist(self._participants)
         if self._pending_hist is None:
-            self._pending_hist = self._merged_hist(participants)
+            self._pending_hist = self._merged_hist(self._participants)
+        raw = self._pending_raw
         receivers = (
             np.flatnonzero(self._pending_hist)
             if raw
             else np.empty(0, dtype=np.int64)
         )
-        return gathered, receivers, int(raw)
+        generation = self._generation
+        participants = self._participants
+        shard_senders = self._shard_senders
+        mode = self._shard_mode
+        superstep = self._tel_superstep
+
+        def inbox() -> np.ndarray:
+            replies = self._exchange(
+                {
+                    w: ("gather", generation, shard_senders[w], mode)
+                    for w in participants
+                },
+                phase="gather",
+            )
+            delivered = sum(int(reply[1]) for reply in replies.values())
+            tel = self.telemetry
+            gathered = np.full(n, identity, dtype=mdtype)
+            # Merge the per-worker partial folds in shard order.  Exact
+            # for every idempotent/integer combine; float np.add may
+            # differ from the single-pass fold in the last ulp across
+            # shard boundaries.
+            with tel.span(
+                "combine", category="phase", superstep=superstep
+            ):
+                for w in participants:
+                    program.combine(gathered, self._gathered[w], out=gathered)
+            if tel.enabled:
+                tel.counter(
+                    "bytes_delivered",
+                    int(delivered) * mdtype.itemsize,
+                    superstep=superstep,
+                )
+            return gathered
+
+        return inbox, receivers, int(raw)
 
     # -- lifecycle -------------------------------------------------------
     @property
@@ -702,7 +804,7 @@ class ShardedBSPEngine(DenseBSPEngine):
         self._closed = True
         for conn in self._conns:
             try:
-                conn.send(("close",))
+                self._wire.send(conn, ("close",))
             except (BrokenPipeError, OSError):
                 pass
         for proc in self._procs:

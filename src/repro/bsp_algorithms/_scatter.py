@@ -1,13 +1,22 @@
-"""Shared vectorized message-scatter primitives.
+"""Deprecated alias of :mod:`repro.bsp._scatter`.
 
-The helpers live in :mod:`repro.bsp._scatter` now — the dense BSP engine
-is their primary consumer — and are re-exported here so the remaining
-hand-vectorized kernels (and external callers) keep importing from the
-historical location.
+The scatter helpers live in :mod:`repro.bsp._scatter` (the dense BSP
+engine is their primary consumer).  This historical location re-exports
+them for external callers but warns on import; in-tree code imports the
+canonical module directly.
 """
 
 from __future__ import annotations
 
+import warnings
+
 from repro.bsp._scatter import arcs_from, enqueue_histogram
 
 __all__ = ["arcs_from", "enqueue_histogram"]
+
+warnings.warn(
+    "repro.bsp_algorithms._scatter is deprecated; import arcs_from and "
+    "enqueue_histogram from repro.bsp._scatter instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

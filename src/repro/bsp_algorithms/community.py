@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.bsp.instrumentation import record_superstep
 from repro.bsp.vertex import VertexContext, VertexProgram
-from repro.bsp_algorithms._scatter import enqueue_histogram
+from repro.bsp._scatter import enqueue_histogram
 from repro.graph.csr import CSRGraph
 from repro.graphct.community import _tie_jitter, modularity
 from repro.runtime.loops import Tracer

@@ -75,10 +75,10 @@ class DenseConnectedComponents(DenseVertexProgram):
         return np.arange(graph.num_vertices, dtype=np.int64)
 
     def arc_payload(
-        self, graph: CSRGraph, values: np.ndarray, arc_mask: np.ndarray
+        self, graph: CSRGraph, values: np.ndarray, selection: np.ndarray
     ) -> np.ndarray:
         """A sender floods its current label."""
-        return values[graph.arc_sources()[arc_mask]]
+        return values[graph.arc_sources()[selection]]
 
     def compute(self, ctx: DenseSuperstepContext) -> np.ndarray | None:
         ctx.vote_to_halt()

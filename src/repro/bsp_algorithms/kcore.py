@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.bsp import engine_for
 from repro.bsp.dense import DenseSuperstepContext, DenseVertexProgram
+from repro.bsp.frontier import selected_arc_count
 from repro.bsp.vertex import VertexContext, VertexProgram
 from repro.graph.csr import CSRGraph
 from repro.xmt.calibration import DEFAULT_COSTS, KernelCosts
@@ -81,10 +82,10 @@ class DenseKCore(DenseVertexProgram):
         return graph.degrees().astype(np.int64)
 
     def arc_payload(
-        self, graph: CSRGraph, values: np.ndarray, arc_mask: np.ndarray
+        self, graph: CSRGraph, values: np.ndarray, selection: np.ndarray
     ) -> np.ndarray:
         """One departure notice per arc out of a dropped vertex."""
-        return np.ones(int(np.count_nonzero(arc_mask)), dtype=np.int64)
+        return np.ones(selected_arc_count(selection), dtype=np.int64)
 
     def compute(self, ctx: DenseSuperstepContext) -> np.ndarray | None:
         ctx.vote_to_halt()

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.bsp.instrumentation import record_superstep
 from repro.bsp.vertex import VertexContext, VertexProgram
-from repro.bsp_algorithms._scatter import arcs_from, enqueue_histogram
+from repro.bsp._scatter import arcs_from, enqueue_histogram
 from repro.graph.csr import CSRGraph
 from repro.runtime.loops import Tracer
 from repro.xmt.calibration import DEFAULT_COSTS, KernelCosts

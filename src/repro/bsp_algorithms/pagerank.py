@@ -101,13 +101,13 @@ class DensePageRank(DenseVertexProgram):
         return np.full(n, 1.0 / max(n, 1))
 
     def arc_payload(
-        self, graph: CSRGraph, values: np.ndarray, arc_mask: np.ndarray
+        self, graph: CSRGraph, values: np.ndarray, selection: np.ndarray
     ) -> np.ndarray:
         """A sender floods ``rank / degree`` to each neighbour."""
         deg = graph.degrees().astype(np.float64)
         share = np.zeros(values.size)
         np.divide(values, deg, out=share, where=deg > 0)
-        return share[graph.arc_sources()[arc_mask]]
+        return share[graph.arc_sources()[selection]]
 
     def compute(self, ctx: DenseSuperstepContext) -> np.ndarray | None:
         n = ctx.num_vertices

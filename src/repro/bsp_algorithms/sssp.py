@@ -75,13 +75,13 @@ class DenseShortestPaths(DenseVertexProgram):
         return dist
 
     def arc_payload(
-        self, graph: CSRGraph, values: np.ndarray, arc_mask: np.ndarray
+        self, graph: CSRGraph, values: np.ndarray, selection: np.ndarray
     ) -> np.ndarray:
         """A sender floods its distance plus the arc weight (unit arcs
         when the graph is unweighted)."""
-        payload = values[graph.arc_sources()[arc_mask]]
+        payload = values[graph.arc_sources()[selection]]
         if graph.weights is not None:
-            return payload + graph.weights[arc_mask]
+            return payload + graph.weights[selection]
         return payload + 1.0
 
     def compute(self, ctx: DenseSuperstepContext) -> np.ndarray | None:
