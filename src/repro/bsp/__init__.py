@@ -68,6 +68,7 @@ from repro.bsp.parallel import (
     PARTITION_POLICIES,
     ShardedBSPEngine,
     ShardedWorkerError,
+    ShardedWriteRaceError,
 )
 from repro.bsp.vertex import VertexContext, VertexProgram
 
@@ -132,6 +133,7 @@ __all__ = [
     "PARTITION_POLICIES",
     "ShardedBSPEngine",
     "ShardedWorkerError",
+    "ShardedWriteRaceError",
     "engine_for",
     "make_engine",
     "Aggregator",

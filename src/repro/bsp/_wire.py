@@ -36,18 +36,36 @@ from __future__ import annotations
 
 import pickle
 import struct
+from typing import TYPE_CHECKING, Union
 
 import numpy as np
 
 from repro.bsp.frontier import DENSE, SPARSE
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from multiprocessing.connection import Connection
+
 __all__ = [
     "WIRE_FORMATS",
     "PackedWire",
     "PickleWire",
+    "WireFormatError",
     "legacy_frame_size",
     "make_wire",
 ]
+
+
+class WireFormatError(ValueError):
+    """A pipe frame failed structural validation while decoding.
+
+    Raised by :meth:`PackedWire.recv` when a frame is truncated, carries
+    an unknown command/mode code, or declares a payload length that does
+    not match the bytes actually received — i.e. the two pipe ends
+    disagree about the protocol (version skew, corrupted frame, or a
+    stray writer on the descriptor).  Distinct from a worker-side
+    ``("error", ...)`` reply, which is a well-formed frame reporting an
+    application failure.
+    """
 
 #: Wire formats understood by the sharded engine.
 WIRE_FORMATS = ("packed", "pickle")
@@ -73,14 +91,17 @@ class PackedWire:
 
     name = "packed"
 
-    def send(self, conn, msg: tuple) -> int:
+    def send(self, conn: "Connection", msg: tuple) -> int:
         """Encode ``msg``, write it with ``send_bytes``, return frame size."""
         frame = self._encode(msg)
         conn.send_bytes(frame)
         return len(frame)
 
-    def recv(self, conn) -> tuple[tuple, int]:
-        """Read one frame; return ``(message, frame_size)``."""
+    def recv(self, conn: "Connection") -> tuple[tuple, int]:
+        """Read one frame; return ``(message, frame_size)``.
+
+        Raises :class:`WireFormatError` if the frame fails validation.
+        """
         buf = conn.recv_bytes()
         return self._decode(buf), len(buf)
 
@@ -115,25 +136,70 @@ class PackedWire:
 
     @staticmethod
     def _decode(buf: bytes) -> tuple:
+        if not buf:
+            raise WireFormatError("empty wire frame")
         code = buf[0]
         if code == _CMD_SCATTER or code == _CMD_GATHER:
+            cmd = "scatter" if code == _CMD_SCATTER else "gather"
+            if len(buf) < 1 + _ARRAY_HEADER.size:
+                raise WireFormatError(
+                    f"truncated {cmd} frame: {len(buf)} byte(s), header "
+                    f"needs {1 + _ARRAY_HEADER.size}"
+                )
             gen, mode_code, count = _ARRAY_HEADER.unpack_from(buf, 1)
+            if mode_code not in _MODE_NAME:
+                raise WireFormatError(
+                    f"{cmd} frame carries unknown frontier-mode code "
+                    f"{mode_code:#x}"
+                )
+            if count < 0:
+                raise WireFormatError(
+                    f"{cmd} frame declares negative sender count {count}"
+                )
+            expected = 1 + _ARRAY_HEADER.size + count * 8
+            if len(buf) != expected:
+                raise WireFormatError(
+                    f"{cmd} frame declares {count} sender id(s) "
+                    f"({expected} bytes) but carries {len(buf)} bytes"
+                )
             senders = np.frombuffer(
                 buf, dtype=np.int64, count=count, offset=1 + _ARRAY_HEADER.size
             )
-            cmd = "scatter" if code == _CMD_SCATTER else "gather"
             return (cmd, gen, senders, _MODE_NAME[mode_code])
         if code == _REPLY_OK:
+            if len(buf) < 1 + _OK_HEADER.size:
+                raise WireFormatError("truncated ok frame: missing count")
             (count,) = _OK_HEADER.unpack_from(buf, 1)
+            expected = 1 + _OK_HEADER.size + count * 8
+            if len(buf) != expected:
+                raise WireFormatError(
+                    f"ok frame declares {count} int(s) ({expected} bytes) "
+                    f"but carries {len(buf)} bytes"
+                )
             ints = struct.unpack_from(f"<{count}q", buf, 1 + _OK_HEADER.size)
             return ("ok", *ints)
         if code == _REPLY_ERR:
             return ("error", buf[1:].decode("utf-8", "replace"))
         if code == _CMD_RUN:
-            return ("run", *pickle.loads(buf[1:]))
+            try:
+                body = pickle.loads(buf[1:])
+            except Exception as exc:
+                raise WireFormatError(
+                    f"run frame body failed to unpickle: {exc!r}"
+                ) from exc
+            if not isinstance(body, tuple):
+                raise WireFormatError(
+                    "run frame body is not a tuple: "
+                    f"{type(body).__name__}"
+                )
+            return ("run", *body)
         if code == _CMD_CLOSE:
+            if len(buf) != 1:
+                raise WireFormatError(
+                    f"close frame carries {len(buf) - 1} trailing byte(s)"
+                )
             return ("close",)
-        raise ValueError(f"unknown wire code {code:#x}")
+        raise WireFormatError(f"unknown wire code {code:#x}")
 
 
 class PickleWire:
@@ -141,17 +207,25 @@ class PickleWire:
 
     name = "pickle"
 
-    def send(self, conn, msg: tuple) -> int:
+    def send(self, conn: "Connection", msg: tuple) -> int:
         frame = pickle.dumps(msg, protocol=pickle.HIGHEST_PROTOCOL)
         conn.send_bytes(frame)
         return len(frame)
 
-    def recv(self, conn) -> tuple[tuple, int]:
+    def recv(self, conn: "Connection") -> tuple[tuple, int]:
         buf = conn.recv_bytes()
-        return pickle.loads(buf), len(buf)
+        msg = pickle.loads(buf)
+        if not isinstance(msg, tuple) or not msg:
+            raise WireFormatError(
+                "pickle frame did not decode to a non-empty tuple"
+            )
+        return msg, len(buf)
 
 
-def make_wire(name: str):
+Wire = Union[PackedWire, PickleWire]
+
+
+def make_wire(name: str) -> Wire:
     """Instantiate a wire codec by format name."""
     if name == "packed":
         return PackedWire()

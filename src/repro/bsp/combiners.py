@@ -28,19 +28,19 @@ class Combiner(ABC):
 class MinCombiner(Combiner):
     """Keep only the smallest message (connected components, BFS, SSSP)."""
 
-    def combine(self, a, b):
+    def combine(self, a: Any, b: Any) -> Any:
         return a if a <= b else b
 
 
 class MaxCombiner(Combiner):
     """Keep only the largest message."""
 
-    def combine(self, a, b):
+    def combine(self, a: Any, b: Any) -> Any:
         return a if a >= b else b
 
 
 class SumCombiner(Combiner):
     """Sum messages (PageRank contributions)."""
 
-    def combine(self, a, b):
+    def combine(self, a: Any, b: Any) -> Any:
         return a + b

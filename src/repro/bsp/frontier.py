@@ -29,10 +29,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.graph.properties import _ragged_arange
 
+#: An arc selection: boolean mask over all arcs (dense) or sorted int64
+#: arc indices (sparse).  Opaque to programs — valid only as a fancy
+#: index into arc-parallel arrays or via :func:`selected_arc_count`.
+ArcSelection = NDArray[np.bool_] | NDArray[np.int64]
+
 __all__ = [
+    "ArcSelection",
     "DEFAULT_FRONTIER_POLICY",
     "DENSE",
     "SPARSE",
@@ -97,7 +104,9 @@ class FrontierPolicy:
 DEFAULT_FRONTIER_POLICY = FrontierPolicy()
 
 
-def arc_indices(senders: np.ndarray, row_ptr: np.ndarray) -> np.ndarray:
+def arc_indices(
+    senders: NDArray[np.int64], row_ptr: NDArray[np.int64]
+) -> NDArray[np.int64]:
     """Ascending arc indices of every out-arc of ``senders``.
 
     ``senders`` must be sorted ascending and duplicate-free; the result
@@ -111,8 +120,8 @@ def arc_indices(senders: np.ndarray, row_ptr: np.ndarray) -> np.ndarray:
 
 
 def select_arcs(
-    senders: np.ndarray, row_ptr: np.ndarray, mode: str
-) -> np.ndarray:
+    senders: NDArray[np.int64], row_ptr: NDArray[np.int64], mode: str
+) -> ArcSelection:
     """Arc selection for ``senders`` in the given representation.
 
     Returns a boolean mask (``mode="dense"``) or an int64 index array
@@ -126,7 +135,7 @@ def select_arcs(
     return np.repeat(vertex_mask, np.diff(row_ptr))
 
 
-def selected_arc_count(selection: np.ndarray) -> int:
+def selected_arc_count(selection: ArcSelection) -> int:
     """Number of arcs a selection picks (mask or index array)."""
     if selection.dtype == np.bool_:
         return int(np.count_nonzero(selection))

@@ -61,6 +61,7 @@ import os
 import threading
 import time
 import traceback
+import warnings
 from multiprocessing import get_all_start_methods, get_context, shared_memory
 from typing import Any, Callable
 
@@ -82,6 +83,7 @@ __all__ = [
     "PARTITION_POLICIES",
     "ShardedBSPEngine",
     "ShardedWorkerError",
+    "ShardedWriteRaceError",
 ]
 
 #: Placement policies understood by :class:`ShardedBSPEngine`.
@@ -90,6 +92,42 @@ PARTITION_POLICIES = ("hash", "balanced-edge")
 
 class ShardedWorkerError(RuntimeError):
     """A shard worker failed while executing its slice of a superstep."""
+
+
+class ShardedWriteRaceError(RuntimeError):
+    """Two shard workers wrote conflicting values to shared state.
+
+    Raised at the gather barrier by the write-race detector
+    (``ShardedBSPEngine(check=True)`` / ``REPRO_SHARDED_CHECK=1``) when
+    per-worker write-sets over the shared ``values`` array overlap with
+    differing values — the outcome of the corresponding unchecked run
+    would depend on worker scheduling.
+
+    Attributes
+    ----------
+    superstep:
+        Superstep index at whose barrier the conflict was detected.
+    conflicts:
+        ``[(vertex, {worker: value}), ...]`` for each conflicting
+        vertex (capped; see the message for the total).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        superstep: int,
+        conflicts: list[tuple[int, dict[int, Any]]],
+    ) -> None:
+        super().__init__(message)
+        self.superstep = superstep
+        self.conflicts = conflicts
+
+
+def _check_mode_from_env() -> bool:
+    """Resolve the ``REPRO_SHARDED_CHECK`` default for ``check=None``."""
+    env = os.environ.get("REPRO_SHARDED_CHECK", "").strip().lower()
+    return env not in ("", "0", "false", "no", "off")
 
 
 # ---------------------------------------------------------------------------
@@ -188,6 +226,7 @@ def _worker_main(conn, spec: dict) -> None:
     program: DenseVertexProgram | None = None
     values: np.ndarray | None = None
     gathered_out: np.ndarray | None = None
+    shadow_out: np.ndarray | None = None
     run_shms: list[shared_memory.SharedMemory] = []
     sel = dst = None
     generation = -1
@@ -214,14 +253,17 @@ def _worker_main(conn, spec: dict) -> None:
             t_busy = time.perf_counter_ns()
             try:
                 if cmd == "run":
-                    _, program, values_name, values_dtype, gathered_name = msg
+                    (_, program, values_name, values_dtype, gathered_name,
+                     *rest) = msg
+                    shadow_name = rest[0] if rest else None
                     for shm in run_shms:
                         shm.close()
                     vshm = _attach(values_name)
                     gshm = _attach(gathered_name)
                     run_shms = [vshm, gshm]
+                    vdtype = np.dtype(values_dtype)
                     values = np.ndarray(
-                        (n,), dtype=np.dtype(values_dtype), buffer=vshm.buf
+                        (n,), dtype=vdtype, buffer=vshm.buf
                     )
                     mdtype = np.dtype(program.message_dtype)
                     gathered_out = np.ndarray(
@@ -230,6 +272,17 @@ def _worker_main(conn, spec: dict) -> None:
                         buffer=gshm.buf,
                         offset=w * n * mdtype.itemsize,
                     )
+                    if shadow_name is not None:
+                        sshm = _attach(shadow_name)
+                        run_shms.append(sshm)
+                        shadow_out = np.ndarray(
+                            (n,),
+                            dtype=vdtype,
+                            buffer=sshm.buf,
+                            offset=w * n * vdtype.itemsize,
+                        )
+                    else:
+                        shadow_out = None
                     sel = dst = None
                     generation = -1
                     wire.send(
@@ -257,9 +310,23 @@ def _worker_main(conn, spec: dict) -> None:
                     hist_fresh = gen != generation
                     if hist_fresh:  # stale cache: no prior scatter call
                         refresh_scatter(gen, senders, mode)
-                    payload = np.asarray(
-                        program.arc_payload(graph, values, sel)
-                    )
+                    if shadow_out is not None:
+                        # Check mode: run the payload hook on a private
+                        # copy of the shared state and publish the
+                        # post-call copy to this worker's shadow slice.
+                        # Any write the hook performs is attributed to
+                        # exactly this worker, never lands in the shared
+                        # array, and is diffed by the parent at the
+                        # barrier.
+                        work_values = values.copy()
+                        payload = np.asarray(
+                            program.arc_payload(graph, work_values, sel)
+                        )
+                        shadow_out[:] = work_values
+                    else:
+                        payload = np.asarray(
+                            program.arc_payload(graph, values, sel)
+                        )
                     gathered_out[:] = program.combine_identity
                     if dst.size:
                         program.combine.at(gathered_out, dst, payload)
@@ -321,6 +388,19 @@ class ShardedBSPEngine(DenseBSPEngine):
         Results are bit-identical either way; only bytes-on-pipe differ.
         Override the default with the ``REPRO_SHARDED_WIRE`` environment
         variable.  Cumulative traffic is exposed as :attr:`pipe_bytes`.
+    check:
+        Enable the write-race detector (default: the
+        ``REPRO_SHARDED_CHECK`` environment variable, off when unset).
+        In check mode every worker executes ``arc_payload`` on a private
+        copy of the shared ``values`` array and publishes the post-call
+        copy to a per-worker shadow block; the parent diffs the shadow
+        write-sets against a pre-gather snapshot at each barrier.
+        Overlapping writes with differing values raise
+        :class:`ShardedWriteRaceError`; any other write by the payload
+        hook (which must be read-only) emits a :class:`RuntimeWarning`.
+        Well-behaved programs produce bit-identical results with the
+        mode on or off, at the cost of one values-array copy per worker
+        per delivering superstep.
     combine_messages, frontier_policy, aggregators, costs, telemetry:
         As for :class:`DenseBSPEngine`.  With telemetry enabled the
         engine additionally records per-worker busy spans (one trace
@@ -338,6 +418,7 @@ class ShardedBSPEngine(DenseBSPEngine):
         partition: str | np.ndarray = "hash",
         start_method: str | None = None,
         wire: str | None = None,
+        check: bool | None = None,
         combine_messages: bool = False,
         frontier_policy: FrontierPolicy | None = None,
         aggregators: dict | None = None,
@@ -364,6 +445,8 @@ class ShardedBSPEngine(DenseBSPEngine):
             raise ValueError(f"wire must be one of {WIRE_FORMATS}")
         self.wire_format = wire
         self._wire = make_wire(wire)
+        #: Write-race detector state (see the ``check`` parameter).
+        self.check = _check_mode_from_env() if check is None else bool(check)
         #: Cumulative bytes put on / read from the worker pipes (frame
         #: payloads; excludes the OS pipe framing).  Always maintained,
         #: telemetry or not — the byte-packing tests assert on it.
@@ -413,7 +496,9 @@ class ShardedBSPEngine(DenseBSPEngine):
         self._static_shms: list[shared_memory.SharedMemory] = []
         self._values_shm: shared_memory.SharedMemory | None = None
         self._gathered_shm: shared_memory.SharedMemory | None = None
+        self._shadow_shm: shared_memory.SharedMemory | None = None
         self._gathered: np.ndarray | None = None
+        self._shadow: np.ndarray | None = None
         self._hist: np.ndarray | None = None
         self._shard_senders: list[np.ndarray] | None = None
         self._shard_mode: str | None = None
@@ -474,10 +559,13 @@ class ShardedBSPEngine(DenseBSPEngine):
         # mapping (external views merely defer the memory reclaim).
         self.values = np.empty(0)
         self._gathered = None
+        self._shadow = None
         _release_block(self._values_shm)
         _release_block(self._gathered_shm)
+        _release_block(self._shadow_shm)
         self._values_shm = None
         self._gathered_shm = None
+        self._shadow_shm = None
 
     # -- pool plumbing ---------------------------------------------------
     def _check_open(self) -> None:
@@ -606,6 +694,76 @@ class ShardedBSPEngine(DenseBSPEngine):
             return np.zeros(self.graph.num_vertices, dtype=np.int64)
         return self._hist[list(participants)].sum(axis=0)
 
+    def _audit_write_sets(
+        self,
+        snapshot: np.ndarray,
+        participants: tuple[int, ...],
+        superstep: int,
+    ) -> None:
+        """Diff worker shadow copies against the pre-gather snapshot.
+
+        ``arc_payload`` must treat the shared ``values`` array as
+        read-only: workers run concurrently over the same block, so any
+        write is scheduling-dependent.  Overlapping writes that disagree
+        raise :class:`ShardedWriteRaceError`; writes that never collide
+        (or collide with equal values) are still a hazard — they only
+        stayed benign for this partition — and emit a RuntimeWarning.
+        """
+        shadow = self._shadow
+        assert shadow is not None
+        is_float = np.issubdtype(snapshot.dtype, np.floating)
+        write_masks: dict[int, np.ndarray] = {}
+        for w in participants:
+            changed = shadow[w] != snapshot
+            if is_float:  # NaN-to-NaN is not a write
+                changed &= ~(np.isnan(shadow[w]) & np.isnan(snapshot))
+            if changed.any():
+                write_masks[w] = changed
+        if not write_masks:
+            return
+        writers = np.zeros(snapshot.shape[0], dtype=np.int64)
+        for mask in write_masks.values():
+            writers += mask
+        conflicts: list[tuple[int, dict[int, Any]]] = []
+        for vertex in np.flatnonzero(writers >= 2).tolist():
+            values_by_worker = {
+                w: shadow[w][vertex].item()
+                for w, mask in write_masks.items()
+                if mask[vertex]
+            }
+            distinct = {
+                repr(v) for v in values_by_worker.values()
+            }
+            if len(distinct) > 1:
+                conflicts.append((vertex, values_by_worker))
+        if conflicts:
+            shown = ", ".join(
+                f"vertex {vertex}: " + ", ".join(
+                    f"worker {w} wrote {value!r}"
+                    for w, value in sorted(values_by_worker.items())
+                )
+                for vertex, values_by_worker in conflicts[:10]
+            )
+            raise ShardedWriteRaceError(
+                f"superstep {superstep}: {len(conflicts)} vertex/vertices "
+                "written concurrently with differing values by "
+                f"{len(write_masks)} worker(s) [{shown}]",
+                superstep=superstep,
+                conflicts=conflicts,
+            )
+        counts = ", ".join(
+            f"worker {w}: {int(mask.sum())} vertex/vertices"
+            for w, mask in sorted(write_masks.items())
+        )
+        warnings.warn(
+            f"superstep {superstep}: arc_payload wrote to the shared "
+            f"values array ({counts}); the hook must be read-only — "
+            "these writes happened not to conflict under this "
+            "partition, but are scheduling-dependent in unchecked runs",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
     # -- engine hooks ----------------------------------------------------
     def _begin_run(
         self, program: DenseVertexProgram, values: np.ndarray
@@ -626,6 +784,17 @@ class ShardedBSPEngine(DenseBSPEngine):
         self._gathered = np.ndarray(
             (self.num_workers, n), dtype=mdtype, buffer=self._gathered_shm.buf
         )
+        shadow_name = None
+        if self.check:
+            self._shadow_shm = _new_block(
+                self.num_workers * n * values.dtype.itemsize
+            )
+            self._shadow = np.ndarray(
+                (self.num_workers, n),
+                dtype=values.dtype,
+                buffer=self._shadow_shm.buf,
+            )
+            shadow_name = self._shadow_shm.name
         self._exchange(
             {
                 w: (
@@ -634,6 +803,7 @@ class ShardedBSPEngine(DenseBSPEngine):
                     self._values_shm.name,
                     values.dtype.str,
                     self._gathered_shm.name,
+                    shadow_name,
                 )
                 for w in range(self.num_workers)
             }
@@ -739,7 +909,10 @@ class ShardedBSPEngine(DenseBSPEngine):
         mode = self._shard_mode
         superstep = self._tel_superstep
 
+        check = self.check
+
         def inbox() -> np.ndarray:
+            snapshot = self.values.copy() if check else None
             replies = self._exchange(
                 {
                     w: ("gather", generation, shard_senders[w], mode)
@@ -747,6 +920,8 @@ class ShardedBSPEngine(DenseBSPEngine):
                 },
                 phase="gather",
             )
+            if snapshot is not None:
+                self._audit_write_sets(snapshot, participants, superstep)
             delivered = sum(int(reply[1]) for reply in replies.values())
             tel = self.telemetry
             gathered = np.full(n, identity, dtype=mdtype)
@@ -820,14 +995,16 @@ class ShardedBSPEngine(DenseBSPEngine):
             self.values = self.values.copy()
         self._hist = None
         self._gathered = None
+        self._shadow = None
         for shm in (
             self._static_shms
-            + [self._values_shm, self._gathered_shm]
+            + [self._values_shm, self._gathered_shm, self._shadow_shm]
         ):
             _release_block(shm)
         self._static_shms = []
         self._values_shm = None
         self._gathered_shm = None
+        self._shadow_shm = None
 
     def __del__(self) -> None:  # pragma: no cover - GC safety net
         try:

@@ -1,0 +1,206 @@
+"""``repro check`` — static analysis gate for BSP programs.
+
+Usage::
+
+    repro check [PATHS...]              # lint vertex programs (default: src)
+    repro check src/ --contracts       # + combiner contract audit
+    repro check src/ --format json     # machine-readable report
+    repro check --list-rules           # print the rule catalog
+
+Exit status: 0 when clean (warnings do not gate), 1 when any
+error-severity diagnostic, unparsable file, or failed combiner contract
+was found, 2 on usage errors.  The JSON output is schema-versioned in
+the same style as the telemetry report and benchmark ledger payloads,
+so downstream tooling can gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import textwrap
+from pathlib import Path
+
+from repro.check.contracts import CombinerContract, audit_paths
+from repro.check.linter import LintResult, lint_paths
+from repro.check.rules import RULES
+
+__all__ = ["main", "render_report", "report_payload"]
+
+#: Schema version of the ``--format json`` payload.
+REPORT_FORMAT_VERSION = 1
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro check",
+        description=(
+            "Lint vertex programs for determinism/race hazards and "
+            "audit combiner contracts."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=None, metavar="PATH",
+        help="files or directories to scan (default: src/ if present, "
+        "else the current directory)",
+    )
+    parser.add_argument(
+        "--contracts", action="store_true",
+        help="also discover Combiner subclasses and property-test "
+        "commutativity/associativity/idempotence",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def report_payload(
+    lint: LintResult, contracts: list[CombinerContract] | None
+) -> dict:
+    """Schema-versioned JSON document for ``--format json``."""
+    failed_contracts = [
+        c for c in (contracts or []) if not c.ok and not c.skipped
+    ]
+    return {
+        "format_version": REPORT_FORMAT_VERSION,
+        "tool": "repro check",
+        "diagnostics": [d.to_json() for d in lint.diagnostics],
+        "parse_errors": [
+            {"path": path, "message": message}
+            for path, message in lint.errors
+        ],
+        "contracts": (
+            None if contracts is None
+            else [c.to_json() for c in contracts]
+        ),
+        "summary": {
+            "files_scanned": lint.files_scanned,
+            "programs_checked": lint.programs_checked,
+            "errors": lint.error_count,
+            "warnings": lint.warning_count,
+            "suppressed": lint.suppressed,
+            "contracts_audited": (
+                None if contracts is None else len(contracts)
+            ),
+            "contracts_failed": (
+                None if contracts is None else len(failed_contracts)
+            ),
+        },
+        "ok": lint.error_count == 0 and not failed_contracts,
+    }
+
+
+def render_report(
+    lint: LintResult, contracts: list[CombinerContract] | None
+) -> str:
+    """Human-readable findings block."""
+    lines: list[str] = []
+    for diag in lint.diagnostics:
+        lines.append(diag.format())
+    for path, message in lint.errors:
+        lines.append(f"{path}:0:0: PARSE [error] {message}")
+    for contract in contracts or []:
+        where = f"{contract.path}:{contract.line}"
+        if contract.skipped:
+            lines.append(
+                f"{where}: CONTRACT [skipped] {contract.name}: "
+                f"{contract.error}"
+            )
+        elif not contract.ok:
+            broken = ", ".join(
+                name for name, holds in (
+                    ("commutativity", contract.commutative),
+                    ("associativity", contract.associative),
+                ) if not holds
+            )
+            detail = "; ".join(contract.counterexamples.values())
+            lines.append(
+                f"{where}: CONTRACT [error] {contract.name} violates "
+                f"{broken} — {detail}"
+            )
+        else:
+            notes = []
+            if not contract.idempotent:
+                notes.append("not idempotent (redelivery-unsafe)")
+            if not contract.float_exact:
+                notes.append("float merges ulp-close, not bit-exact")
+            if not contract.float_associative:
+                notes.append("float-cancellation sensitive")
+            suffix = f" ({'; '.join(notes)})" if notes else ""
+            lines.append(
+                f"{where}: CONTRACT [ok] {contract.name}{suffix}"
+            )
+    summary = (
+        f"checked {lint.files_scanned} file(s), "
+        f"{lint.programs_checked} program(s): "
+        f"{lint.error_count} error(s), {lint.warning_count} warning(s)"
+        + (f", {lint.suppressed} suppressed" if lint.suppressed else "")
+    )
+    if contracts is not None:
+        failed = sum(1 for c in contracts if not c.ok and not c.skipped)
+        summary += (
+            f"; {len(contracts)} combiner contract(s), {failed} failed"
+        )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def _render_rules() -> str:
+    blocks = []
+    for rule in RULES.values():
+        body = textwrap.fill(
+            rule.summary, width=72, initial_indent="    ",
+            subsequent_indent="    ",
+        )
+        blocks.append(
+            f"{rule.id} [{rule.severity}] {rule.title}\n{body}"
+        )
+    blocks.append(
+        "Suppress a finding with `# repro: noqa[RULE-ID]` on the "
+        "flagged line."
+    )
+    return "\n\n".join(blocks)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``repro check``."""
+    args = _parser().parse_args(argv)
+    if args.list_rules:
+        print(_render_rules())
+        return 0
+    paths = args.paths
+    if not paths:
+        paths = ["src"] if Path("src").is_dir() else ["."]
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        print(
+            f"repro check: no such path: {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    lint = lint_paths(paths)
+    contracts = audit_paths(paths) if args.contracts else None
+
+    if args.format == "json":
+        payload = report_payload(lint, contracts)
+        print(json.dumps(payload, indent=2, sort_keys=False))
+        return 0 if payload["ok"] else 1
+
+    output = render_report(lint, contracts)
+    print(output)
+    failed_contracts = any(
+        not c.ok and not c.skipped for c in (contracts or [])
+    )
+    return 1 if (lint.error_count or failed_contracts) else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

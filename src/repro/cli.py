@@ -14,6 +14,7 @@ Renders each of the paper's experiments as ASCII tables::
     python -m repro.cli profile ...       # wall-clock telemetry profiling
     python -m repro.cli bench ...         # benchmark history + regression gate
     python -m repro.cli serve ...         # long-lived graph-analytics server
+    python -m repro.cli check ...         # BSP program linter / contracts
     python -m repro.cli version           # exact package version
 
 ``profile`` is its own subcommand (see :mod:`repro.telemetry.profile`):
@@ -23,8 +24,11 @@ records benchmark runs into the append-only history ledger, renders
 trends, and gates regressions.  ``serve`` (see :mod:`repro.service.cli`)
 loads one graph into the sharded engine's shared-memory CSR and serves
 algorithm jobs over HTTP — submit, poll, fetch results / telemetry /
-traces.  ``version`` (also ``--version``) prints the installed package
-version, so ledger provenance and bug reports can cite an exact release.
+traces.  ``check`` (see :mod:`repro.check.cli`) statically lints vertex
+programs for determinism/race hazards and property-tests combiner
+contracts.  ``version`` (also ``--version``) prints the installed
+package version, so ledger provenance and bug reports can cite an exact
+release.
 
 Options: ``--scale N`` (default 14), ``--seed S``, ``--paper-scale``
 (render the processor sweeps with work extrapolated to the paper's
@@ -337,6 +341,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.service.cli import main as serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "check":
+        from repro.check.cli import main as check_main
+
+        return check_main(argv[1:])
     if argv and argv[0] in ("version", "--version"):
         from repro.bench.ledger import package_version
 

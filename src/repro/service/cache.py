@@ -18,6 +18,7 @@ from __future__ import annotations
 import json
 import threading
 from collections import OrderedDict
+from typing import Any
 
 __all__ = ["ResultCache"]
 
@@ -33,19 +34,21 @@ class ResultCache:
         if capacity < 0:
             raise ValueError("capacity must be non-negative")
         self.capacity = capacity
-        self._entries: OrderedDict[str, dict] = OrderedDict()
+        self._entries: OrderedDict[str, dict[str, Any]] = OrderedDict()
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        self.hits: int = 0
+        self.misses: int = 0
+        self.evictions: int = 0
 
     @staticmethod
-    def make_key(fingerprint: str, algorithm: str, params: dict) -> str:
+    def make_key(
+        fingerprint: str, algorithm: str, params: dict[str, Any]
+    ) -> str:
         """Deterministic key for (graph, algorithm, canonical params)."""
         blob = json.dumps(params, sort_keys=True, separators=(",", ":"))
         return f"{fingerprint}/{algorithm}/{blob}"
 
-    def get(self, key: str) -> dict | None:
+    def get(self, key: str) -> dict[str, Any] | None:
         """The cached payload (refreshing recency), or None on a miss."""
         with self._lock:
             entry = self._entries.get(key)
@@ -56,7 +59,7 @@ class ResultCache:
             self.hits += 1
             return entry
 
-    def put(self, key: str, value: dict) -> None:
+    def put(self, key: str, value: dict[str, Any]) -> None:
         """Insert (or refresh) an entry, evicting the LRU tail."""
         if self.capacity == 0:
             return
@@ -71,7 +74,7 @@ class ResultCache:
         with self._lock:
             return len(self._entries)
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, int]:
         """Counter snapshot for the telemetry report."""
         with self._lock:
             return {

@@ -375,23 +375,6 @@ class TestFrontierTelemetry:
         assert packed < legacy
 
 
-# -- deprecated scatter alias ----------------------------------------------
-
-
-class TestScatterAlias:
-    def test_alias_warns_and_reexports_canonical_functions(self):
-        import importlib
-        import sys
-
-        sys.modules.pop("repro.bsp_algorithms._scatter", None)
-        with pytest.warns(DeprecationWarning, match="repro.bsp._scatter"):
-            alias = importlib.import_module("repro.bsp_algorithms._scatter")
-        from repro.bsp import _scatter as canonical
-
-        assert alias.arcs_from is canonical.arcs_from
-        assert alias.enqueue_histogram is canonical.enqueue_histogram
-
-
 # -- wire framing ----------------------------------------------------------
 
 
