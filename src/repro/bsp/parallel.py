@@ -950,6 +950,16 @@ class ShardedBSPEngine(DenseBSPEngine):
         """True once :meth:`close` has released the worker pool."""
         return self._closed
 
+    @property
+    def workers_alive(self) -> int:
+        """Shard worker processes currently alive (liveness probe).
+
+        Equals ``num_workers`` on a healthy open engine and 0 after
+        :meth:`close`; anything in between means a worker died — the
+        service health endpoint surfaces this.
+        """
+        return sum(1 for proc in self._procs if proc.is_alive())
+
     def run(self, program: DenseVertexProgram, **kwargs: Any):
         """Execute ``program`` (see :meth:`DenseBSPEngine.run`).
 

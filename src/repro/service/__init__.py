@@ -28,6 +28,7 @@ from repro.service.app import (
     GraphAnalyticsService,
     GraphServiceHTTPServer,
     build_server,
+    new_trace_id,
 )
 from repro.service.cache import ResultCache
 from repro.service.jobs import JOB_STATES, Job, JobManager
@@ -47,5 +48,6 @@ __all__ = [
     "ResultCache",
     "build_server",
     "canonicalize_params",
+    "new_trace_id",
     "run_algorithm",
 ]

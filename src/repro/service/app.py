@@ -22,6 +22,8 @@ import threading
 import time
 from http.server import ThreadingHTTPServer
 
+import uuid
+
 from repro.bsp.parallel import ShardedBSPEngine
 from repro.graph.csr import CSRGraph
 from repro.service.cache import ResultCache
@@ -29,8 +31,24 @@ from repro.service.jobs import Job, JobManager
 from repro.service.runner import ALGORITHMS, canonicalize_params, run_algorithm
 from repro.telemetry.core import Telemetry
 from repro.telemetry.export import chrome_trace, telemetry_report
+from repro.telemetry.logs import NULL_LOGGER
+from repro.telemetry.metrics import (
+    MetricsRegistry,
+    metrics_snapshot,
+    render_prometheus,
+)
 
-__all__ = ["GraphAnalyticsService", "GraphServiceHTTPServer", "build_server"]
+__all__ = [
+    "GraphAnalyticsService",
+    "GraphServiceHTTPServer",
+    "build_server",
+    "new_trace_id",
+]
+
+
+def new_trace_id() -> str:
+    """A fresh request/job correlation id (16 hex chars, uuid4-derived)."""
+    return uuid.uuid4().hex[:16]
 
 
 class GraphAnalyticsService:
@@ -56,6 +74,16 @@ class GraphAnalyticsService:
         Optional externally-owned :class:`Telemetry`; one is created
         when omitted.  Cache hits/misses, job spans, and every engine
         span of the session land here.
+    metrics:
+        Optional externally-owned
+        :class:`~repro.telemetry.metrics.MetricsRegistry`; one is
+        created when omitted.  Pass :data:`~repro.telemetry.metrics.NULL_METRICS`
+        to disable aggregation entirely (``repro serve --no-metrics``).
+    logger:
+        Structured event logger for job lifecycle and HTTP request
+        records; defaults to the silent
+        :data:`~repro.telemetry.logs.NULL_LOGGER` so in-process
+        embedding produces no output.
     """
 
     def __init__(
@@ -67,15 +95,20 @@ class GraphAnalyticsService:
         job_threads: int = 2,
         cache_capacity: int = 128,
         telemetry: Telemetry | None = None,
+        metrics=None,
+        logger=None,
     ) -> None:
         self.graph = graph
         self.fingerprint = graph.fingerprint()
         self.telemetry = (
             telemetry if telemetry is not None else Telemetry(label="serve")
         )
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.logger = logger if logger is not None else NULL_LOGGER
         self.num_workers = int(num_workers)
         self.cache = ResultCache(cache_capacity)
         self.started_at = time.time()
+        self._started_monotonic = time.monotonic()
         self._closed = False
         self._close_lock = threading.Lock()
         self.engine = ShardedBSPEngine(
@@ -85,19 +118,40 @@ class GraphAnalyticsService:
             telemetry=self.telemetry,
         )
         # Jobs last: workers must never observe a half-built service.
-        self.jobs = JobManager(self._execute, num_threads=job_threads)
+        self.jobs = JobManager(
+            self._execute, num_threads=job_threads, metrics=self.metrics
+        )
 
     # -- request surface -------------------------------------------------
-    def submit(self, algorithm: str, params: dict | None) -> Job:
+    def submit(
+        self,
+        algorithm: str,
+        params: dict | None,
+        *,
+        trace_id: str | None = None,
+    ) -> Job:
         """Validate and enqueue one job.
 
         Raises :class:`ValueError` on a bad algorithm/params (HTTP 400)
         and :class:`RuntimeError` once shutdown began (HTTP 503).
+        ``trace_id`` correlates the job with the submitting HTTP request;
+        one is generated when omitted (direct in-process submission).
         """
         canonical = canonicalize_params(algorithm, params, self.graph)
         if self._closed:
             raise RuntimeError("service is shutting down")
-        return self.jobs.submit(algorithm, canonical)
+        job = self.jobs.submit(
+            algorithm,
+            canonical,
+            trace_id=trace_id if trace_id is not None else new_trace_id(),
+        )
+        self.logger.info(
+            "job.submitted",
+            job_id=job.job_id,
+            trace_id=job.trace_id,
+            algorithm=algorithm,
+        )
+        return job
 
     def _execute(self, job: Job) -> tuple[dict, bool]:
         """Job-thread entry: serve from cache or compute on the warm engine."""
@@ -106,21 +160,49 @@ class GraphAnalyticsService:
         hit = self.cache.get(key)
         if hit is not None:
             tel.counter("service_cache_hit", 1)
+            self.logger.info(
+                "job.done",
+                job_id=job.job_id,
+                trace_id=job.trace_id,
+                algorithm=job.algorithm,
+                cached=True,
+            )
             return hit, True
         tel.counter("service_cache_miss", 1)
-        with tel.span(
-            "job", category="service", algorithm=job.algorithm,
-            job_id=job.job_id,
-        ):
-            result = run_algorithm(
-                job.algorithm,
-                job.params,
-                self.graph,
-                engine=self.engine,
-                num_workers=self.num_workers,
-                telemetry=tel,
+        window_start = tel.now()
+        try:
+            with tel.span(
+                "job", category="service", algorithm=job.algorithm,
+                job_id=job.job_id, trace_id=job.trace_id,
+            ):
+                result = run_algorithm(
+                    job.algorithm,
+                    job.params,
+                    self.graph,
+                    engine=self.engine,
+                    num_workers=self.num_workers,
+                    telemetry=tel,
+                    metrics=self.metrics,
+                )
+        except Exception as exc:
+            job.trace_window = (window_start, tel.now())
+            self.logger.error(
+                "job.failed",
+                job_id=job.job_id,
+                trace_id=job.trace_id,
+                algorithm=job.algorithm,
+                error=f"{type(exc).__name__}: {exc}",
             )
+            raise
+        job.trace_window = (window_start, tel.now())
         self.cache.put(key, result)
+        self.logger.info(
+            "job.done",
+            job_id=job.job_id,
+            trace_id=job.trace_id,
+            algorithm=job.algorithm,
+            cached=False,
+        )
         return result, False
 
     # -- reporting -------------------------------------------------------
@@ -141,13 +223,48 @@ class GraphAnalyticsService:
         """The ``GET /health`` body."""
         return {
             "status": "shutting-down" if self._closed else "ok",
-            "uptime_seconds": time.time() - self.started_at,
+            "uptime_seconds": time.monotonic() - self._started_monotonic,
             "algorithms": list(ALGORITHMS),
             "num_workers": self.num_workers,
+            "workers_alive": self.engine.workers_alive,
+            "queue_depth": self.jobs.queue_depth(),
             "graph": self.graph_info(),
             "jobs": self.jobs.counts(),
             "cache": self.cache.stats(),
         }
+
+    # -- metrics ---------------------------------------------------------
+    def collect_metrics(self) -> None:
+        """Refresh scrape-time series before rendering ``/metrics``.
+
+        Push-style series (request/job counters, histograms) are already
+        current; this bridges the pull-style ones — cache tallies, the
+        up/uptime gauges — so a scrape always reflects the moment it
+        happened.
+        """
+        self.cache.publish_metrics(self.metrics)
+        self.metrics.gauge(
+            "repro_service_up",
+            "1 while serving, 0 once shutdown began.",
+        ).set(0 if self._closed else 1)
+        self.metrics.gauge(
+            "repro_service_uptime_seconds",
+            "Seconds since the service started.",
+        ).set(time.monotonic() - self._started_monotonic)
+        self.metrics.gauge(
+            "repro_engine_workers_alive",
+            "Shard worker processes currently alive.",
+        ).set(self.engine.workers_alive)
+
+    def metrics_text(self) -> str:
+        """The ``GET /metrics`` body (Prometheus text exposition)."""
+        self.collect_metrics()
+        return render_prometheus(self.metrics)
+
+    def metrics_json(self) -> dict:
+        """The ``GET /metrics.json`` body (schema-versioned snapshot)."""
+        self.collect_metrics()
+        return metrics_snapshot(self.metrics)
 
     def telemetry_report(self) -> dict:
         """The ``GET /telemetry`` body: session report + service block."""
@@ -163,6 +280,36 @@ class GraphAnalyticsService:
     def chrome_trace(self) -> dict:
         """The ``GET /trace`` body (load in Perfetto / chrome://tracing)."""
         return chrome_trace(self.telemetry)
+
+    def job_trace(self, job: Job) -> dict:
+        """The ``GET /jobs/<id>/trace`` body: this job's slice of the session.
+
+        Spans and counters that fall inside the job's execution window
+        on the session telemetry clock, rendered as a Chrome trace whose
+        ``otherData`` carries the job's ``trace_id`` — the same id the
+        submit response, the job record, and the request log line carry.
+        Engine-backed jobs serialize on the warm engine, so the window
+        contains exactly their spans; a cached job has no window (nothing
+        executed) and exports an empty-but-valid trace.
+        """
+        start_ns, end_ns = job.trace_window or (0, 0)
+        view = Telemetry(label=f"job {job.job_id}")
+        view.origin_ns = self.telemetry.origin_ns
+        view.spans = [
+            s
+            for s in self.telemetry.spans
+            if start_ns <= s.start_ns and s.end_ns <= end_ns
+        ]
+        view.counters = [
+            c
+            for c in self.telemetry.counters
+            if start_ns <= c.t_ns <= end_ns
+        ]
+        trace = chrome_trace(view)
+        trace["otherData"].update(
+            {"job_id": job.job_id, "trace_id": job.trace_id}
+        )
+        return trace
 
     # -- lifecycle -------------------------------------------------------
     @property
@@ -200,6 +347,8 @@ class GraphServiceHTTPServer(ThreadingHTTPServer):
         from repro.service.handlers import ServiceRequestHandler
 
         self.service = service
+        #: Retained for back-compat; request logging now flows through
+        #: ``service.logger`` (verbosity is the logger's level).
         self.verbose = verbose
         #: Set once a client or signal asked the serve loop to stop.
         self.shutdown_requested = threading.Event()

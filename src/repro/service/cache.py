@@ -20,6 +20,8 @@ import threading
 from collections import OrderedDict
 from typing import Any
 
+from repro.telemetry.metrics import MetricsRegistry, NullMetricsRegistry
+
 __all__ = ["ResultCache"]
 
 
@@ -84,3 +86,33 @@ class ResultCache:
                 "size": len(self._entries),
                 "capacity": self.capacity,
             }
+
+    def publish_metrics(
+        self, registry: MetricsRegistry | NullMetricsRegistry
+    ) -> None:
+        """Mirror the cache tallies into ``registry`` (collection-time).
+
+        The cache keeps its own authoritative counts (they predate the
+        metrics layer and feed :meth:`stats`), so the registry series
+        are bridged rather than incremented per event:
+        ``Counter.set_total`` raises each counter to the current tally —
+        monotone even if two scrapes race — and the entry-count gauge is
+        set outright.  Called by the service app before rendering
+        ``GET /metrics``.
+        """
+        stats = self.stats()
+        registry.counter(
+            "repro_cache_hits_total", "Result-cache lookups served."
+        ).set_total(stats["hits"])
+        registry.counter(
+            "repro_cache_misses_total", "Result-cache lookups that missed."
+        ).set_total(stats["misses"])
+        registry.counter(
+            "repro_cache_evictions_total", "LRU entries evicted."
+        ).set_total(stats["evictions"])
+        registry.gauge(
+            "repro_cache_entries", "Entries currently cached."
+        ).set(stats["size"])
+        registry.gauge(
+            "repro_cache_capacity", "Configured cache capacity."
+        ).set(stats["capacity"])

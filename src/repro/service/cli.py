@@ -6,11 +6,18 @@ and serves algorithm jobs over HTTP until SIGTERM/SIGINT or a client
 ``POST /shutdown``.  Shutdown drains: queued and in-flight jobs finish,
 then the worker pool and shared memory are released.
 
+All process output is structured log events (``--log-format json`` for
+JSON lines, default ``text``) carrying trace ids, and the service keeps
+a Prometheus-scrapable metrics registry (``GET /metrics``; disable with
+``--no-metrics``).
+
 Example::
 
-    python -m repro.cli serve --scale 10 --port 8080 --num-workers 2
+    python -m repro.cli serve --scale 10 --port 8080 --num-workers 2 \
+        --log-format json
     curl -s -X POST localhost:8080/jobs \
         -d '{"algorithm": "bfs", "params": {"source": 0}}'
+    curl -s localhost:8080/metrics
 """
 
 from __future__ import annotations
@@ -21,6 +28,8 @@ import sys
 from pathlib import Path
 
 from repro.service.app import GraphAnalyticsService, build_server
+from repro.telemetry.logs import StructuredLogger
+from repro.telemetry.metrics import NULL_METRICS
 
 __all__ = ["load_served_graph", "main"]
 
@@ -84,10 +93,24 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--job-threads", type=int, default=2)
     parser.add_argument("--cache-size", type=int, default=128,
                         help="LRU result-cache entries (0 disables)")
+    parser.add_argument("--log-format", default="text",
+                        choices=("text", "json"),
+                        help="structured log rendering (one line per "
+                             "event either way; json is the machine-"
+                             "parseable form)")
+    parser.add_argument("--no-metrics", action="store_true",
+                        help="disable the metrics registry entirely "
+                             "(/metrics serves an empty exposition)")
     parser.add_argument("--verbose", action="store_true",
-                        help="log every HTTP request to stderr")
+                        help="log at debug level (includes http.server "
+                             "internals)")
     args = parser.parse_args(argv)
 
+    logger = StructuredLogger(
+        sys.stdout,
+        fmt=args.log_format,
+        level="debug" if args.verbose else "info",
+    )
     graph = load_served_graph(
         args.graph,
         scale=args.scale,
@@ -100,13 +123,15 @@ def main(argv: list[str] | None = None) -> int:
         partition=args.partition,
         job_threads=args.job_threads,
         cache_capacity=args.cache_size,
+        metrics=NULL_METRICS if args.no_metrics else None,
+        logger=logger,
     )
     server = build_server(
         service, args.host, args.port, verbose=args.verbose
     )
 
     def _signal_shutdown(signum, frame):
-        print(f"received signal {signum}; draining...", flush=True)
+        logger.info("serve.signal", signal=int(signum), action="draining")
         server.initiate_shutdown()
 
     signal.signal(signal.SIGTERM, _signal_shutdown)
@@ -114,12 +139,15 @@ def main(argv: list[str] | None = None) -> int:
 
     host, port = server.server_address[:2]
     info = service.graph_info()
-    print(
-        f"serving graph ({info['num_vertices']} vertices, "
-        f"{info['num_edges']} edges, fingerprint "
-        f"{info['fingerprint'][:12]}...) on http://{host}:{port} "
-        f"with {args.num_workers} shard worker(s)",
-        flush=True,
+    logger.info(
+        "serve.start",
+        url=f"http://{host}:{port}",
+        num_vertices=info["num_vertices"],
+        num_edges=info["num_edges"],
+        fingerprint=info["fingerprint"][:12],
+        num_workers=args.num_workers,
+        metrics="disabled" if args.no_metrics else "enabled",
+        log_format=args.log_format,
     )
     try:
         server.serve_forever(poll_interval=0.1)
@@ -129,10 +157,14 @@ def main(argv: list[str] | None = None) -> int:
         # engine's worker processes exit and shared memory unlinks.
         service.close()
         counts = service.jobs.counts()
-        print(
-            f"drained; jobs done={counts['done']} failed={counts['failed']}, "
-            f"cache={service.cache.stats()}",
-            flush=True,
+        cache = service.cache.stats()
+        logger.info(
+            "serve.drained",
+            jobs_done=counts["done"],
+            jobs_failed=counts["failed"],
+            cache_hits=cache["hits"],
+            cache_misses=cache["misses"],
+            cache_evictions=cache["evictions"],
         )
     return 0
 

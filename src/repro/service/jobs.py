@@ -11,6 +11,14 @@ Shutdown drains: :meth:`JobManager.shutdown` stops accepting new jobs,
 lets every already-queued job execute, and joins the workers.  A
 sentinel per worker rides the same FIFO queue behind the pending jobs,
 so "drain" needs no separate bookkeeping.
+
+Observability: each job records monotonic ``submitted``/``started``/
+``finished`` stamps alongside the wall-clock ones, so queue wait and run
+duration are measured on a clock that cannot step backwards; both are
+surfaced in ``GET /jobs/<id>`` and observed into the manager's
+:class:`~repro.telemetry.metrics.MetricsRegistry` histograms
+(``repro_job_queue_wait_seconds``, ``repro_job_duration_seconds``),
+with submission/completion counters and a per-state gauge riding along.
 """
 
 from __future__ import annotations
@@ -22,6 +30,12 @@ import time
 import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable
+
+from repro.telemetry.metrics import (
+    NULL_METRICS,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
 
 __all__ = ["JOB_STATES", "Job", "JobManager"]
 
@@ -46,14 +60,43 @@ class Job:
     #: Canonicalized parameters (defaults filled, keys validated).
     params: dict
     status: str = "submitted"
+    #: Trace id of the HTTP request that submitted the job — the one
+    #: correlation key across the request log line, this record, and
+    #: the job's span in the Chrome-trace export.
+    trace_id: str | None = None
     submitted_at: float = field(default_factory=time.time)
     started_at: float | None = None
     finished_at: float | None = None
+    #: Monotonic twins of the wall-clock stamps: durations derived from
+    #: these cannot go negative when the host clock steps.
+    submitted_at_monotonic: float = field(default_factory=time.monotonic)
+    started_at_monotonic: float | None = None
+    finished_at_monotonic: float | None = None
     #: True when the result came from the cache without recompute.
     cached: bool = False
     error: str | None = None
     #: JSON-safe result payload once ``status == "done"``.
     result: dict | None = None
+    #: Telemetry-clock interval covering the job's execution, set by the
+    #: service app; ``GET /jobs/<id>/trace`` slices the session spans on it.
+    trace_window: tuple[int, int] | None = None
+
+    @property
+    def queue_wait_seconds(self) -> float | None:
+        """Time from submission to execution start (None while queued)."""
+        if self.started_at_monotonic is None:
+            return None
+        return self.started_at_monotonic - self.submitted_at_monotonic
+
+    @property
+    def run_seconds(self) -> float | None:
+        """Execution duration (None until the job is terminal)."""
+        if (
+            self.started_at_monotonic is None
+            or self.finished_at_monotonic is None
+        ):
+            return None
+        return self.finished_at_monotonic - self.started_at_monotonic
 
     def to_dict(self, *, include_result: bool = False) -> dict:
         """JSON-safe status view (the ``GET /jobs/<id>`` body)."""
@@ -62,9 +105,12 @@ class Job:
             "algorithm": self.algorithm,
             "params": dict(self.params),
             "status": self.status,
+            "trace_id": self.trace_id,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
+            "queue_wait_seconds": self.queue_wait_seconds,
+            "run_seconds": self.run_seconds,
             "cached": self.cached,
             "error": self.error,
         }
@@ -85,6 +131,10 @@ class JobManager:
         Worker thread count.  More than one only helps jobs that do not
         contend on the single warm engine (the engine serializes runs
         internally), e.g. cache hits and the triangles closure scan.
+    metrics:
+        Registry receiving the job metrics (submission/completion
+        counters, queue-wait and duration histograms, per-state gauge,
+        queue depth).  Defaults to the no-op registry.
     """
 
     def __init__(
@@ -92,6 +142,7 @@ class JobManager:
         execute: Callable[[Job], tuple[dict, bool]],
         *,
         num_threads: int = 2,
+        metrics: MetricsRegistry | NullMetricsRegistry = NULL_METRICS,
     ) -> None:
         if num_threads < 1:
             raise ValueError("num_threads must be >= 1")
@@ -102,6 +153,23 @@ class JobManager:
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
         self._closed = False
+        self.metrics = metrics
+        self._m_queue_depth = metrics.gauge(
+            "repro_job_queue_depth",
+            "Jobs submitted but not yet picked up by a worker thread.",
+        )
+        self._m_state = {
+            state: metrics.gauge(
+                "repro_jobs_by_state",
+                "Jobs currently in each lifecycle state.",
+                {"state": state},
+            )
+            for state in JOB_STATES
+        }
+        self._m_queue_wait = metrics.histogram(
+            "repro_job_queue_wait_seconds",
+            "Time a job waited in the queue before execution started.",
+        )
         self._threads = [
             threading.Thread(
                 target=self._worker, name=f"repro-job-{i}", daemon=True
@@ -112,7 +180,9 @@ class JobManager:
             t.start()
 
     # -- client surface --------------------------------------------------
-    def submit(self, algorithm: str, params: dict) -> Job:
+    def submit(
+        self, algorithm: str, params: dict, *, trace_id: str | None = None
+    ) -> Job:
         """Enqueue a job (already-canonicalized params); returns it."""
         with self._lock:
             if self._closed:
@@ -121,9 +191,17 @@ class JobManager:
                 job_id=f"job-{next(self._ids):06d}",
                 algorithm=algorithm,
                 params=params,
+                trace_id=trace_id,
             )
             self._jobs[job.job_id] = job
             self._order.append(job.job_id)
+        self.metrics.counter(
+            "repro_jobs_submitted_total",
+            "Jobs accepted for execution.",
+            {"algorithm": algorithm},
+        ).inc()
+        self._m_state["submitted"].inc()
+        self._m_queue_depth.inc()
         self._queue.put(job)
         return job
 
@@ -144,6 +222,10 @@ class JobManager:
             for job in self._jobs.values():
                 out[job.status] += 1
         return out
+
+    def queue_depth(self) -> int:
+        """Jobs submitted but not yet picked up by a worker thread."""
+        return self.counts()["submitted"]
 
     def wait(self, job_id: str, timeout: float = 30.0) -> Job:
         """Poll until the job reaches a terminal state (test helper)."""
@@ -177,6 +259,23 @@ class JobManager:
             t.join(timeout=timeout)
 
     # -- worker loop -----------------------------------------------------
+    def _finish(self, job: Job) -> None:
+        """Metrics for one terminal job (runs after the state flip)."""
+        self._m_state["running"].dec()
+        self._m_state[job.status].inc()
+        self.metrics.counter(
+            "repro_jobs_completed_total",
+            "Jobs that reached a terminal state.",
+            {"algorithm": job.algorithm, "status": job.status},
+        ).inc()
+        run = job.run_seconds
+        if run is not None:
+            self.metrics.histogram(
+                "repro_job_duration_seconds",
+                "Job execution time (queue wait excluded).",
+                {"algorithm": job.algorithm},
+            ).observe(run)
+
     def _worker(self) -> None:
         while True:
             job = self._queue.get()
@@ -185,6 +284,13 @@ class JobManager:
             with self._lock:
                 job.status = "running"
                 job.started_at = time.time()
+                job.started_at_monotonic = time.monotonic()
+            self._m_queue_depth.dec()
+            self._m_state["submitted"].dec()
+            self._m_state["running"].inc()
+            wait = job.queue_wait_seconds
+            if wait is not None:
+                self._m_queue_wait.observe(wait)
             try:
                 result, cached = self._execute(job)
             except Exception as exc:
@@ -194,9 +300,13 @@ class JobManager:
                     job.error = f"{type(exc).__name__}: {exc}"
                     job.result = {"traceback": detail}
                     job.finished_at = time.time()
+                    job.finished_at_monotonic = time.monotonic()
+                self._finish(job)
             else:
                 with self._lock:
                     job.status = "done"
                     job.result = result
                     job.cached = bool(cached)
                     job.finished_at = time.time()
+                    job.finished_at_monotonic = time.monotonic()
+                self._finish(job)

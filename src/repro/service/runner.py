@@ -31,6 +31,7 @@ from repro.bsp_algorithms import (
     bsp_sssp,
 )
 from repro.graph.csr import CSRGraph
+from repro.telemetry.metrics import NULL_METRICS
 
 __all__ = ["ALGORITHMS", "canonicalize_params", "run_algorithm"]
 
@@ -128,6 +129,7 @@ def run_algorithm(
     engine=None,
     num_workers: int | None = None,
     telemetry=None,
+    metrics=NULL_METRICS,
 ) -> dict:
     """Execute one canonical request; return the JSON-safe payload.
 
@@ -135,7 +137,51 @@ def run_algorithm(
     (and left open) by every engine-backed algorithm.  Triangle counting
     has no engine path — it shards its closure scan over its own pool,
     sized by ``num_workers``.
+
+    ``metrics`` bridges engine activity up to the service registry:
+    ``repro_engine_busy`` is 1 while an engine-backed run holds the warm
+    engine, and each completed run adds its superstep count to
+    ``repro_engine_supersteps_total`` (the triangles pool counts too,
+    labelled by algorithm like everything else).
     """
+    busy = metrics.gauge(
+        "repro_engine_busy",
+        "Engine-backed jobs currently executing or awaiting the warm "
+        "engine (they serialize on its internal lock).",
+    )
+    if algorithm != "triangles":  # triangles runs on its own pool
+        busy.inc()
+    try:
+        common = _dispatch(
+            algorithm, params, graph,
+            engine=engine, num_workers=num_workers, telemetry=telemetry,
+        )
+    finally:
+        if algorithm != "triangles":
+            busy.dec()
+    metrics.counter(
+        "repro_engine_runs_total",
+        "Algorithm runs executed (cache misses).",
+        {"algorithm": algorithm},
+    ).inc()
+    metrics.counter(
+        "repro_engine_supersteps_total",
+        "BSP supersteps executed on behalf of jobs.",
+        {"algorithm": algorithm},
+    ).inc(common["num_supersteps"])
+    return common
+
+
+def _dispatch(
+    algorithm: str,
+    params: dict,
+    graph: CSRGraph,
+    *,
+    engine=None,
+    num_workers: int | None = None,
+    telemetry=None,
+) -> dict:
+    """The per-algorithm wrapper calls behind :func:`run_algorithm`."""
     common: dict
     if algorithm == "cc":
         res = bsp_connected_components(

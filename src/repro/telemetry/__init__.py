@@ -46,23 +46,41 @@ from repro.telemetry.export import (
     save_report,
     telemetry_report,
 )
+from repro.telemetry.logs import NULL_LOGGER, NullLogger, StructuredLogger
+from repro.telemetry.metrics import (
+    METRICS_FORMAT_VERSION,
+    NULL_METRICS,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    metrics_snapshot,
+    render_prometheus,
+)
 
 __all__ = [
     "CHROME_TRACE_PID",
     "MAIN_TRACK",
+    "METRICS_FORMAT_VERSION",
+    "NULL_LOGGER",
+    "NULL_METRICS",
     "NULL_TELEMETRY",
     "REPORT_FORMAT_VERSION",
     "CounterSample",
+    "MetricsRegistry",
+    "NullLogger",
+    "NullMetricsRegistry",
     "NullTelemetry",
     "Span",
     "SpanCorrelation",
+    "StructuredLogger",
     "Telemetry",
     "chrome_trace",
     "correlate",
     "format_measured_vs_modeled",
     "measured_vs_modeled",
     "memory_summary",
+    "metrics_snapshot",
     "peak_rss_bytes",
+    "render_prometheus",
     "save_chrome_trace",
     "save_report",
     "telemetry_report",

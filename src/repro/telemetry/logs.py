@@ -1,0 +1,171 @@
+"""Structured logging for the service tier.
+
+``repro serve`` used to narrate itself with bare ``print()`` calls —
+fine for a terminal, useless for a log pipeline.  This module replaces
+them with a :class:`StructuredLogger` that emits one record per event in
+either of two renderings:
+
+* ``json`` — one JSON object per line (``ts``, ``level``, ``event``,
+  plus whatever fields the call site attached: ``trace_id``, ``route``,
+  ``job_id``, ``latency_ms``, ...), the machine-parseable form a log
+  shipper ingests;
+* ``text`` — ``<ts> <LEVEL> <event> key=value ...``, the same record
+  human-readable.
+
+Both renderings carry identical fields, so tests assert on the JSON
+form and operators read the text form of the *same* events.  Writes are
+line-atomic (one ``write`` call under a lock, then flush), so records
+from concurrent handler threads never interleave mid-line.
+
+The cost contract matches the rest of the telemetry package: everything
+holds a logger unconditionally, and the default is the shared
+:data:`NULL_LOGGER` twin whose methods are empty — library code and
+in-process tests pay one no-op call, produce no output.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from datetime import datetime, timezone
+from typing import Any, IO
+
+__all__ = [
+    "LOG_LEVELS",
+    "NULL_LOGGER",
+    "NullLogger",
+    "StructuredLogger",
+]
+
+#: Known levels, in increasing severity; the logger drops records below
+#: its threshold.
+LOG_LEVELS = ("debug", "info", "warning", "error")
+
+_LEVEL_RANK = {name: rank for rank, name in enumerate(LOG_LEVELS)}
+
+
+def _utc_iso(now: float) -> str:
+    """``now`` (unix seconds) as ISO-8601 UTC with millisecond precision."""
+    return (
+        datetime.fromtimestamp(now, tz=timezone.utc)
+        .isoformat(timespec="milliseconds")
+        .replace("+00:00", "Z")
+    )
+
+
+class StructuredLogger:
+    """Leveled event logger with JSON-lines and text renderings.
+
+    Parameters
+    ----------
+    stream:
+        Output file object; defaults to ``sys.stdout`` (the serve
+        CLI's convention — one process, one log stream).
+    fmt:
+        ``"json"`` or ``"text"``.
+    level:
+        Minimum severity emitted (one of :data:`LOG_LEVELS`).
+    clock:
+        Unix-seconds clock, overridable for deterministic tests.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        stream: IO[str] | None = None,
+        *,
+        fmt: str = "text",
+        level: str = "info",
+        clock: Any = time.time,
+    ) -> None:
+        if fmt not in ("json", "text"):
+            raise ValueError(f"unknown log format {fmt!r}")
+        if level not in _LEVEL_RANK:
+            raise ValueError(
+                f"unknown log level {level!r}; expected one of {LOG_LEVELS}"
+            )
+        self.stream = stream if stream is not None else sys.stdout
+        self.fmt = fmt
+        self.level = level
+        self._threshold = _LEVEL_RANK[level]
+        self._clock = clock
+        self._lock = threading.Lock()
+
+    # -- recording -------------------------------------------------------
+    def log(self, level: str, event: str, **fields: Any) -> None:
+        """Emit one record (dropped when below the level threshold).
+
+        ``fields`` with value ``None`` are omitted — call sites can pass
+        optional context (``job_id=maybe_none``) without littering the
+        output with nulls.
+        """
+        rank = _LEVEL_RANK.get(level)
+        if rank is None:
+            raise ValueError(f"unknown log level {level!r}")
+        if rank < self._threshold:
+            return
+        now = self._clock()
+        kept = {k: v for k, v in fields.items() if v is not None}
+        if self.fmt == "json":
+            record: dict[str, Any] = {
+                "ts": _utc_iso(now), "level": level, "event": event,
+            }
+            record.update(kept)
+            line = json.dumps(record, default=str, separators=(", ", ": "))
+        else:
+            parts = [_utc_iso(now), level.upper(), event]
+            parts.extend(f"{k}={v}" for k, v in kept.items())
+            line = " ".join(parts)
+        with self._lock:
+            self.stream.write(line + "\n")
+            self.stream.flush()
+
+    def debug(self, event: str, **fields: Any) -> None:
+        """Emit at ``debug``."""
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        """Emit at ``info``."""
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        """Emit at ``warning``."""
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        """Emit at ``error``."""
+        self.log("error", event, **fields)
+
+
+class NullLogger:
+    """Disabled twin of :class:`StructuredLogger`: drops everything.
+
+    The default logger of the service objects, so in-process embedding
+    (tests, notebooks) stays silent without any ``if logger:`` branches.
+    """
+
+    enabled = False
+    fmt = "null"
+    level = "error"
+
+    def log(self, level: str, event: str, **fields: Any) -> None:
+        """Drop the record."""
+
+    def debug(self, event: str, **fields: Any) -> None:
+        """Drop the record."""
+
+    def info(self, event: str, **fields: Any) -> None:
+        """Drop the record."""
+
+    def warning(self, event: str, **fields: Any) -> None:
+        """Drop the record."""
+
+    def error(self, event: str, **fields: Any) -> None:
+        """Drop the record."""
+
+
+#: Shared disabled instance — the default ``logger`` of the service tier.
+NULL_LOGGER = NullLogger()

@@ -1,0 +1,497 @@
+"""Service metrics: a thread-safe registry with Prometheus exposition.
+
+:mod:`repro.telemetry.core` records *traces* — spans and counter samples
+on a timeline, the right shape for profiling one run.  A long-lived
+``repro serve`` process needs the other shape of observability:
+*aggregates* that a scraper polls — request counts by route and status,
+latency histograms, queue depth, cache hit rates.  This module is that
+layer: a :class:`MetricsRegistry` holding named metric families
+(:class:`Counter`, :class:`Gauge`, :class:`Histogram`), each optionally
+split by a fixed tuple of label names, rendered either as Prometheus
+text exposition (:func:`render_prometheus`, scrape ``GET /metrics``) or
+as a schema-versioned JSON snapshot (:func:`metrics_snapshot`,
+``GET /metrics.json``).
+
+The cost contract mirrors :data:`~repro.telemetry.core.NULL_TELEMETRY`:
+everything downstream holds a registry unconditionally, and when metrics
+are disabled (``repro serve --no-metrics``) it is the shared
+:data:`NULL_METRICS` twin whose instruments are no-op singletons — no
+locks taken, no allocation, no arithmetic.  Library-level code (the
+engines, the algorithm wrappers) never sees this module at all; metrics
+exist only in the service tier.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Iterator, Mapping, Sequence, Union
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "METRICS_FORMAT_VERSION",
+    "NULL_METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "metrics_snapshot",
+    "render_prometheus",
+]
+
+#: Schema version of :func:`metrics_snapshot` output.
+METRICS_FORMAT_VERSION = 1
+
+#: Default histogram buckets for request/job latencies, in seconds.
+#: Spans 1 ms .. 60 s — a scale-10 BFS lands mid-range, a cache hit in
+#: the first bucket, a scale-14 pagerank near the top.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+LabelValues = tuple[str, ...]
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value the way Prometheus expects.
+
+    Integral values print without an exponent or trailing ``.0`` so
+    counters read naturally; non-finite floats use the exposition
+    spellings ``+Inf`` / ``-Inf`` / ``NaN``.
+    """
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _label_pairs(names: Sequence[str], values: LabelValues) -> str:
+    return ",".join(
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(names, values)
+    )
+
+
+class Counter:
+    """One monotonically non-decreasing series (one label combination)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        with self._lock:
+            self._value += amount
+
+    def set_total(self, total: float) -> None:
+        """Raise the counter to ``total`` if that is higher.
+
+        The bridge for tallies maintained elsewhere (e.g.
+        :class:`~repro.service.cache.ResultCache` keeps its own
+        hit/miss/eviction counts): at collection time the owner mirrors
+        the authoritative total here.  Never lowers the value, so the
+        exposed series stays monotone even if two collection paths race.
+        """
+        with self._lock:
+            if total > self._value:
+                self._value = total
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """One point-in-time value that can go up and down."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-bucket distribution (one label combination).
+
+    Buckets are cumulative upper bounds, Prometheus-style: an
+    observation lands in every bucket whose bound is >= the value, plus
+    the implicit ``+Inf`` bucket; ``sum`` and ``count`` ride along.
+    """
+
+    __slots__ = ("_lock", "buckets", "_counts", "_inf", "_sum", "_count")
+
+    def __init__(
+        self, lock: threading.Lock, buckets: Sequence[float]
+    ) -> None:
+        self._lock = lock
+        self.buckets: tuple[float, ...] = tuple(buckets)
+        self._counts = [0] * len(self.buckets)
+        self._inf = 0
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        with self._lock:
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self._counts[i] += 1
+            self._inf += 1
+            self._sum += value
+            self._count += 1
+
+    def snapshot(self) -> dict:
+        """Cumulative bucket counts plus sum/count, under the lock."""
+        with self._lock:
+            return {
+                "buckets": [
+                    {"le": bound, "count": count}
+                    for bound, count in zip(self.buckets, self._counts)
+                ],
+                "inf_count": self._inf,
+                "sum": self._sum,
+                "count": self._count,
+            }
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class _Family:
+    """One named metric and its per-label-combination children."""
+
+    __slots__ = ("name", "kind", "help", "label_names", "buckets",
+                 "_children", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        label_names: tuple[str, ...],
+        buckets: tuple[float, ...] | None,
+        lock: threading.Lock,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.label_names = label_names
+        self.buckets = buckets
+        self._children: dict[LabelValues, Instrument] = {}
+        self._lock = lock
+
+    def child(self, values: LabelValues) -> Instrument:
+        if len(values) != len(self.label_names):
+            raise ValueError(
+                f"metric {self.name!r} expects labels "
+                f"{list(self.label_names)}, got {len(values)} value(s)"
+            )
+        values = tuple(str(v) for v in values)
+        with self._lock:
+            child = self._children.get(values)
+            if child is None:
+                if self.kind == "counter":
+                    child = Counter(self._lock)
+                elif self.kind == "gauge":
+                    child = Gauge(self._lock)
+                else:
+                    assert self.buckets is not None
+                    child = Histogram(self._lock, self.buckets)
+                self._children[values] = child
+            return child
+
+    def children(self) -> list[tuple[LabelValues, Instrument]]:
+        """Label-sorted (values, instrument) pairs, snapshotted."""
+        with self._lock:
+            return sorted(self._children.items())
+
+
+class MetricsRegistry:
+    """Thread-safe collection of named metric families.
+
+    ``counter`` / ``gauge`` / ``histogram`` register a family on first
+    call and return the instrument for one label combination; repeat
+    calls with the same name are cheap lookups, so instrumentation sites
+    can call straight into the registry without caching handles (though
+    hot paths may).  Re-registering a name with a different kind,
+    label set, or bucket layout raises — one name, one meaning.
+
+    A single lock per registry guards both the family table and every
+    instrument.  Serving-tier events are orders of magnitude rarer than
+    engine operations (requests, not edges), so contention is not a
+    concern and the simple locking is easy to audit.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, _Family] = {}
+
+    # -- registration ----------------------------------------------------
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        label_names: Sequence[str],
+        buckets: Sequence[float] | None,
+    ) -> _Family:
+        label_names = tuple(label_names)
+        bucket_tuple = None
+        if buckets is not None:
+            bucket_tuple = tuple(float(b) for b in buckets)
+            if list(bucket_tuple) != sorted(set(bucket_tuple)):
+                raise ValueError(
+                    f"histogram {name!r} buckets must be strictly increasing"
+                )
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(
+                    name, kind, help_text, label_names, bucket_tuple,
+                    self._lock,
+                )
+                self._families[name] = family
+                return family
+        if family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} is a {family.kind}, not a {kind}"
+            )
+        if family.label_names != label_names:
+            raise ValueError(
+                f"metric {name!r} is labelled {list(family.label_names)}, "
+                f"not {list(label_names)}"
+            )
+        if kind == "histogram" and family.buckets != bucket_tuple:
+            raise ValueError(f"metric {name!r} bucket layout differs")
+        return family
+
+    def counter(
+        self, name: str, help_text: str = "", labels: Mapping[str, str] | None = None
+    ) -> Counter:
+        """The counter for ``name`` at the given label values."""
+        label_map = dict(labels or {})
+        family = self._family(
+            name, "counter", help_text, tuple(label_map), None
+        )
+        child = family.child(tuple(label_map[k] for k in family.label_names)
+                             if labels else ())
+        assert isinstance(child, Counter)
+        return child
+
+    def gauge(
+        self, name: str, help_text: str = "", labels: Mapping[str, str] | None = None
+    ) -> Gauge:
+        """The gauge for ``name`` at the given label values."""
+        label_map = dict(labels or {})
+        family = self._family(name, "gauge", help_text, tuple(label_map), None)
+        child = family.child(tuple(label_map[k] for k in family.label_names)
+                             if labels else ())
+        assert isinstance(child, Gauge)
+        return child
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Mapping[str, str] | None = None,
+        *,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        """The histogram for ``name`` at the given label values."""
+        label_map = dict(labels or {})
+        family = self._family(
+            name, "histogram", help_text, tuple(label_map), buckets
+        )
+        child = family.child(tuple(label_map[k] for k in family.label_names)
+                             if labels else ())
+        assert isinstance(child, Histogram)
+        return child
+
+    # -- iteration -------------------------------------------------------
+    def families(self) -> Iterator[_Family]:
+        """Registered families in registration order (snapshotted)."""
+        with self._lock:
+            families = list(self._families.values())
+        return iter(families)
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram for the disabled path."""
+
+    __slots__ = ()
+    value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Drop the increment."""
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Drop the decrement."""
+
+    def set(self, value: float) -> None:
+        """Drop the value."""
+
+    def set_total(self, total: float) -> None:
+        """Drop the total."""
+
+    def observe(self, value: float) -> None:
+        """Drop the observation."""
+
+    def snapshot(self) -> dict:
+        """Always empty."""
+        return {}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetricsRegistry:
+    """Disabled twin of :class:`MetricsRegistry`: records nothing.
+
+    Every method returns the shared no-op instrument — no lock, no
+    allocation — so instrumentation sites stay branch-free and
+    ``repro serve --no-metrics`` pays one attribute lookup per event.
+    """
+
+    enabled = False
+
+    def counter(self, name: str, help_text: str = "",
+                labels: Mapping[str, str] | None = None) -> _NullInstrument:
+        """The shared no-op instrument."""
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, help_text: str = "",
+              labels: Mapping[str, str] | None = None) -> _NullInstrument:
+        """The shared no-op instrument."""
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, help_text: str = "",
+                  labels: Mapping[str, str] | None = None,
+                  *, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+                  ) -> _NullInstrument:
+        """The shared no-op instrument."""
+        return _NULL_INSTRUMENT
+
+    def families(self) -> Iterator[_Family]:
+        """Always empty."""
+        return iter(())
+
+
+#: Shared disabled instance — the default registry everywhere.
+NULL_METRICS = NullMetricsRegistry()
+
+
+def render_prometheus(
+    registry: MetricsRegistry | NullMetricsRegistry,
+) -> str:
+    """Render ``registry`` in the Prometheus text exposition format.
+
+    One ``# HELP`` / ``# TYPE`` header per family, then one sample line
+    per label combination (histograms expand to cumulative ``_bucket``
+    series plus ``_sum`` and ``_count``).  The output ends with a
+    newline, as the format requires; a registry with no families
+    renders as the empty string.
+    """
+    lines: list[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for values, instrument in family.children():
+            base_labels = _label_pairs(family.label_names, values)
+            if isinstance(instrument, Histogram):
+                snap = instrument.snapshot()
+                for bucket in snap["buckets"]:
+                    le = _format_value(bucket["le"])
+                    pairs = (
+                        f'{base_labels},le="{le}"'
+                        if base_labels
+                        else f'le="{le}"'
+                    )
+                    lines.append(
+                        f"{family.name}_bucket{{{pairs}}} "
+                        f"{_format_value(bucket['count'])}"
+                    )
+                pairs = (
+                    f'{base_labels},le="+Inf"' if base_labels else 'le="+Inf"'
+                )
+                lines.append(
+                    f"{family.name}_bucket{{{pairs}}} "
+                    f"{_format_value(snap['inf_count'])}"
+                )
+                suffix = f"{{{base_labels}}}" if base_labels else ""
+                lines.append(
+                    f"{family.name}_sum{suffix} {_format_value(snap['sum'])}"
+                )
+                lines.append(
+                    f"{family.name}_count{suffix} "
+                    f"{_format_value(snap['count'])}"
+                )
+            else:
+                suffix = f"{{{base_labels}}}" if base_labels else ""
+                lines.append(
+                    f"{family.name}{suffix} {_format_value(instrument.value)}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def metrics_snapshot(
+    registry: MetricsRegistry | NullMetricsRegistry,
+) -> dict:
+    """Schema-versioned JSON view of every family (``GET /metrics.json``)."""
+    families = []
+    for family in registry.families():
+        rows = []
+        for values, instrument in family.children():
+            labels = dict(zip(family.label_names, values))
+            if isinstance(instrument, Histogram):
+                rows.append({"labels": labels, **instrument.snapshot()})
+            else:
+                rows.append({"labels": labels, "value": instrument.value})
+        families.append(
+            {
+                "name": family.name,
+                "kind": family.kind,
+                "help": family.help,
+                "label_names": list(family.label_names),
+                "samples": rows,
+            }
+        )
+    return {"format_version": METRICS_FORMAT_VERSION, "families": families}

@@ -1,0 +1,441 @@
+"""Metrics-registry and structured-logger suite.
+
+Covers the instruments (counter/gauge/histogram, labelled families),
+the Prometheus text exposition and JSON snapshot renderings, the
+zero-cost null twins, thread-safety under concurrent writers, and the
+JSON-lines logger.  The exposition validator here is deliberately
+strict — it re-implements the format rules from the Prometheus
+exposition spec (HELP/TYPE headers, sample-line grammar, cumulative
+histogram buckets) so a rendering bug fails loudly rather than parsing
+"well enough".
+"""
+
+import io
+import json
+import re
+import threading
+
+import pytest
+
+from repro.telemetry.logs import NULL_LOGGER, NullLogger, StructuredLogger
+from repro.telemetry.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    METRICS_FORMAT_VERSION,
+    NULL_METRICS,
+    MetricsRegistry,
+    metrics_snapshot,
+    render_prometheus,
+)
+
+# ---------------------------------------------------------------------------
+# Exposition-format validator (shared with the service tests)
+# ---------------------------------------------------------------------------
+
+_METRIC_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_SAMPLE_RE = re.compile(
+    rf"^(?P<name>{_METRIC_NAME})"
+    r"(?:\{(?P<labels>[^{}]*)\})?"
+    r" (?P<value>NaN|[+-]Inf|-?[0-9]+(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?)$"
+)
+_LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+
+def assert_valid_exposition(text: str) -> dict[str, list[tuple[dict, float]]]:
+    """Validate Prometheus text exposition; return samples per family.
+
+    Checks every line is a HELP/TYPE header or a well-formed sample,
+    every sample belongs to a declared TYPE'd family (histogram samples
+    via their ``_bucket``/``_sum``/``_count`` suffixes), histogram
+    buckets are cumulative and end with a ``+Inf`` bound, and the body
+    ends with a newline.  Returns ``{family: [(labels, value), ...]}``
+    for further assertions.
+    """
+    if text == "":
+        return {}
+    assert text.endswith("\n"), "exposition must end with a newline"
+    types: dict[str, str] = {}
+    samples: dict[str, list[tuple[dict, float]]] = {}
+    for line in text.splitlines():
+        assert line.strip() == line and line, f"stray whitespace: {line!r}"
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            assert kind in ("counter", "gauge", "histogram"), line
+            assert name not in types, f"duplicate TYPE for {name}"
+            types[name] = kind
+            continue
+        assert not line.startswith("#"), f"unknown comment: {line!r}"
+        m = _SAMPLE_RE.match(line)
+        assert m, f"malformed sample line: {line!r}"
+        name = m.group("name")
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = name.removesuffix(suffix)
+            if base != name and types.get(base) == "histogram":
+                family = base
+                break
+        assert family in types, f"sample {name!r} precedes its TYPE header"
+        labels = {}
+        if m.group("labels"):
+            for pair in re.split(r",(?=[a-zA-Z_])", m.group("labels")):
+                assert _LABEL_RE.match(pair), f"bad label pair {pair!r}"
+                key, _, value = pair.partition("=")
+                labels[key] = value.strip('"')
+        value = m.group("value")
+        numeric = (
+            float("inf") if value == "+Inf"
+            else float("-inf") if value == "-Inf"
+            else float("nan") if value == "NaN"
+            else float(value)
+        )
+        samples.setdefault(family, []).append((labels, numeric))
+    # Histogram invariants: cumulative buckets, +Inf bucket == _count.
+    for family, kind in types.items():
+        if kind != "histogram":
+            continue
+        rows = samples.get(family, [])
+        series: dict[tuple, list[tuple[float, float]]] = {}
+        counts: dict[tuple, float] = {}
+        for labels, value in rows:
+            key = tuple(
+                sorted((k, v) for k, v in labels.items() if k != "le")
+            )
+            if "le" in labels:
+                bound = (
+                    float("inf") if labels["le"] == "+Inf"
+                    else float(labels["le"])
+                )
+                series.setdefault(key, []).append((bound, value))
+        for key, buckets in series.items():
+            ordered = sorted(buckets)
+            values = [v for _, v in ordered]
+            assert values == sorted(values), (
+                f"{family}{dict(key)} buckets not cumulative: {ordered}"
+            )
+            assert ordered[-1][0] == float("inf"), f"{family} missing +Inf"
+    return samples
+
+
+# ---------------------------------------------------------------------------
+# Instruments
+# ---------------------------------------------------------------------------
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("jobs_total", "help")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="increase"):
+            reg.counter("jobs_total").inc(-1)
+
+    def test_set_total_is_monotone(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits_total")
+        c.set_total(10)
+        c.set_total(7)  # never lowers
+        assert c.value == 10
+        c.set_total(12)
+        assert c.value == 12
+
+    def test_same_name_same_child(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_labelled_children_are_distinct(self):
+        reg = MetricsRegistry()
+        a = reg.counter("req_total", "h", {"route": "/a"})
+        b = reg.counter("req_total", "h", {"route": "/b"})
+        a.inc()
+        assert a is not b
+        assert b.value == 0 and a.value == 1
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        g.set(5)
+        g.inc()
+        g.dec(3)
+        assert g.value == 3
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert [b["count"] for b in snap["buckets"]] == [1, 3, 4]
+        assert snap["inf_count"] == 5
+        assert snap["count"] == 5
+        assert snap["sum"] == pytest.approx(56.05)
+
+    def test_boundary_value_lands_in_bucket(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(1.0,))
+        h.observe(1.0)  # le is inclusive
+        assert h.snapshot()["buckets"][0]["count"] == 1
+
+    def test_unsorted_buckets_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="increasing"):
+            reg.histogram("lat", buckets=(1.0, 0.5))
+        with pytest.raises(ValueError, match="increasing"):
+            reg.histogram("lat2", buckets=(1.0, 1.0))
+
+    def test_default_buckets_cover_latency_range(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] <= 0.001
+        assert DEFAULT_LATENCY_BUCKETS[-1] >= 60.0
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+
+
+class TestRegistryContracts:
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="counter"):
+            reg.gauge("x")
+
+    def test_label_set_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x", "h", {"a": "1"})
+        with pytest.raises(ValueError, match="labelled"):
+            reg.counter("x", "h", {"b": "1"})
+
+    def test_bucket_layout_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError, match="bucket layout"):
+            reg.histogram("h", buckets=(1.0, 3.0))
+
+    def test_registration_order_preserved(self):
+        reg = MetricsRegistry()
+        reg.counter("b_total")
+        reg.gauge("a_gauge")
+        assert [f.name for f in reg.families()] == ["b_total", "a_gauge"]
+
+    def test_concurrent_writers_lose_nothing(self):
+        reg = MetricsRegistry()
+        threads = [
+            threading.Thread(
+                target=lambda: [
+                    (
+                        reg.counter("c_total", "h", {"t": str(i % 2)}).inc(),
+                        reg.histogram("h_seconds").observe(0.01),
+                        reg.gauge("g").inc(),
+                    )
+                    for i in range(500)
+                ]
+            )
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        total = sum(
+            reg.counter("c_total", "h", {"t": t}).value for t in ("0", "1")
+        )
+        assert total == 8 * 500
+        assert reg.histogram("h_seconds").snapshot()["count"] == 8 * 500
+        assert reg.gauge("g").value == 8 * 500
+
+
+# ---------------------------------------------------------------------------
+# Renderings
+# ---------------------------------------------------------------------------
+
+
+class TestRenderPrometheus:
+    def _populated(self):
+        reg = MetricsRegistry()
+        reg.counter(
+            "repro_http_requests_total", "HTTP requests handled.",
+            {"route": "/jobs", "method": "POST", "code": "202"},
+        ).inc(3)
+        reg.gauge("repro_job_queue_depth", "Queued jobs.").set(2)
+        h = reg.histogram(
+            "repro_http_request_latency_seconds", "Latency.",
+            {"route": "/jobs"}, buckets=(0.01, 0.1, 1.0),
+        )
+        h.observe(0.05)
+        h.observe(0.5)
+        return reg
+
+    def test_valid_exposition(self):
+        samples = assert_valid_exposition(
+            render_prometheus(self._populated())
+        )
+        assert samples["repro_http_requests_total"] == [
+            ({"route": "/jobs", "method": "POST", "code": "202"}, 3.0)
+        ]
+        assert samples["repro_job_queue_depth"] == [({}, 2.0)]
+
+    def test_histogram_expansion(self):
+        text = render_prometheus(self._populated())
+        assert (
+            'repro_http_request_latency_seconds_bucket'
+            '{route="/jobs",le="0.1"} 1' in text
+        )
+        assert (
+            'repro_http_request_latency_seconds_bucket'
+            '{route="/jobs",le="+Inf"} 2' in text
+        )
+        assert 'repro_http_request_latency_seconds_count{route="/jobs"} 2' \
+            in text
+
+    def test_help_and_type_headers(self):
+        text = render_prometheus(self._populated())
+        assert "# HELP repro_http_requests_total HTTP requests handled." \
+            in text
+        assert "# TYPE repro_http_requests_total counter" in text
+        assert "# TYPE repro_job_queue_depth gauge" in text
+        assert "# TYPE repro_http_request_latency_seconds histogram" in text
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", "h", {"p": 'a"b\\c\nd'}).inc()
+        text = render_prometheus(reg)
+        assert r'p="a\"b\\c\nd"' in text
+        assert_valid_exposition(text)
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+        assert render_prometheus(NULL_METRICS) == ""
+
+    def test_integer_values_render_without_decimal(self):
+        reg = MetricsRegistry()
+        reg.counter("n_total").inc(5)
+        assert "n_total 5\n" in render_prometheus(reg)
+
+
+class TestMetricsSnapshot:
+    def test_schema_and_content(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", "help text", {"k": "v"}).inc(2)
+        reg.histogram("h_seconds", buckets=(1.0,)).observe(0.5)
+        snap = metrics_snapshot(reg)
+        assert snap["format_version"] == METRICS_FORMAT_VERSION
+        by_name = {f["name"]: f for f in snap["families"]}
+        c = by_name["c_total"]
+        assert c["kind"] == "counter" and c["help"] == "help text"
+        assert c["samples"] == [{"labels": {"k": "v"}, "value": 2.0}]
+        h = by_name["h_seconds"]["samples"][0]
+        assert h["count"] == 1 and h["buckets"][0]["count"] == 1
+
+    def test_json_serializable(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(1.5)
+        json.dumps(metrics_snapshot(reg))
+
+
+class TestNullMetrics:
+    def test_all_instruments_are_noops(self):
+        c = NULL_METRICS.counter("x")
+        g = NULL_METRICS.gauge("y")
+        h = NULL_METRICS.histogram("z")
+        c.inc()
+        c.set_total(10)
+        g.set(5)
+        g.inc()
+        g.dec()
+        h.observe(1.0)
+        assert c.value == 0.0
+        assert list(NULL_METRICS.families()) == []
+        assert metrics_snapshot(NULL_METRICS)["families"] == []
+
+    def test_shared_singleton_instrument(self):
+        assert NULL_METRICS.counter("a") is NULL_METRICS.gauge("b")
+
+    def test_enabled_discriminator(self):
+        assert MetricsRegistry().enabled is True
+        assert NULL_METRICS.enabled is False
+
+
+# ---------------------------------------------------------------------------
+# Structured logger
+# ---------------------------------------------------------------------------
+
+
+class TestStructuredLogger:
+    def test_json_lines_carry_fields(self):
+        buf = io.StringIO()
+        log = StructuredLogger(buf, fmt="json", clock=lambda: 0.25)
+        log.info(
+            "http.request", trace_id="abc123", route="/jobs",
+            latency_ms=1.25, job_id=None,
+        )
+        rec = json.loads(buf.getvalue())
+        assert rec["ts"] == "1970-01-01T00:00:00.250Z"
+        assert rec["level"] == "info"
+        assert rec["event"] == "http.request"
+        assert rec["trace_id"] == "abc123"
+        assert rec["route"] == "/jobs"
+        assert rec["latency_ms"] == 1.25
+        assert "job_id" not in rec  # None fields are dropped
+
+    def test_text_format_same_fields(self):
+        buf = io.StringIO()
+        log = StructuredLogger(buf, fmt="text", clock=lambda: 0.0)
+        log.warning("serve.signal", signal=15)
+        line = buf.getvalue()
+        assert "WARNING" in line and "serve.signal" in line
+        assert "signal=15" in line
+
+    def test_level_threshold(self):
+        buf = io.StringIO()
+        log = StructuredLogger(buf, fmt="json", level="info")
+        log.debug("dropped")
+        assert buf.getvalue() == ""
+        log.error("kept")
+        assert json.loads(buf.getvalue())["event"] == "kept"
+
+    def test_debug_level_passes_everything(self):
+        buf = io.StringIO()
+        log = StructuredLogger(buf, fmt="json", level="debug")
+        log.debug("seen")
+        assert json.loads(buf.getvalue())["event"] == "seen"
+
+    def test_invalid_format_and_level_rejected(self):
+        with pytest.raises(ValueError, match="format"):
+            StructuredLogger(io.StringIO(), fmt="xml")
+        with pytest.raises(ValueError, match="level"):
+            StructuredLogger(io.StringIO(), level="loud")
+        log = StructuredLogger(io.StringIO())
+        with pytest.raises(ValueError, match="level"):
+            log.log("loud", "event")
+
+    def test_concurrent_writers_never_interleave(self):
+        buf = io.StringIO()
+        log = StructuredLogger(buf, fmt="json")
+        threads = [
+            threading.Thread(
+                target=lambda i=i: [
+                    log.info("event", thread=i, n=n) for n in range(200)
+                ]
+            )
+            for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        lines = buf.getvalue().splitlines()
+        assert len(lines) == 8 * 200
+        for line in lines:
+            json.loads(line)  # every line is one complete record
+
+    def test_null_logger_is_silent(self):
+        NULL_LOGGER.info("anything", field=1)
+        NULL_LOGGER.log("error", "anything")
+        assert isinstance(NULL_LOGGER, NullLogger)
+        assert NULL_LOGGER.enabled is False

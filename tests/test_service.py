@@ -7,6 +7,7 @@ job queue, warm-engine reuse, LRU cache, telemetry counters.
 """
 
 import json
+import re
 import threading
 import time
 import urllib.error
@@ -31,6 +32,9 @@ from repro.service import (
     build_server,
     canonicalize_params,
 )
+from repro.service.handlers import PROMETHEUS_CONTENT_TYPE
+from repro.telemetry.metrics import NULL_METRICS
+from tests.test_metrics import assert_valid_exposition
 
 # ---------------------------------------------------------------------------
 # HTTP helpers
@@ -50,16 +54,35 @@ class Client:
         except urllib.error.HTTPError as e:
             return e.code, json.loads(e.read())
 
-    def post(self, path: str, payload=None):
+    def post(self, path: str, payload=None, headers=None):
         data = json.dumps(payload or {}).encode()
         req = urllib.request.Request(
-            self.base + path, data=data, method="POST"
+            self.base + path, data=data, method="POST",
+            headers=headers or {},
         )
         try:
             with urllib.request.urlopen(req, timeout=30) as r:
                 return r.status, json.loads(r.read())
         except urllib.error.HTTPError as e:
             return e.code, json.loads(e.read())
+
+    def get_raw(self, path: str, headers=None):
+        """GET returning (status, response headers, body text)."""
+        req = urllib.request.Request(
+            self.base + path, headers=headers or {}
+        )
+        with urllib.request.urlopen(req, timeout=30) as r:
+            return r.status, dict(r.headers), r.read().decode("utf-8")
+
+    def post_raw(self, path: str, payload=None, headers=None):
+        """POST returning (status, response headers, parsed JSON body)."""
+        data = json.dumps(payload or {}).encode()
+        req = urllib.request.Request(
+            self.base + path, data=data, method="POST",
+            headers=headers or {},
+        )
+        with urllib.request.urlopen(req, timeout=30) as r:
+            return r.status, dict(r.headers), json.loads(r.read())
 
     def wait(self, job_id: str, timeout: float = 60.0):
         """Poll the status endpoint until the job is terminal."""
@@ -414,6 +437,214 @@ class TestServiceHTTP:
         assert code == 200
         assert len(body["jobs"]) >= 1
         assert all("job_id" in j for j in body["jobs"])
+
+
+# ---------------------------------------------------------------------------
+# Observability: /metrics, trace correlation, health, timing
+# ---------------------------------------------------------------------------
+
+#: Metric families the service must expose once at least one job and one
+#: request have been observed (engine families appear after the first
+#: engine-backed run).
+_CORE_FAMILIES = {
+    "repro_http_requests_total",
+    "repro_http_request_latency_seconds",
+    "repro_jobs_submitted_total",
+    "repro_jobs_completed_total",
+    "repro_jobs_by_state",
+    "repro_job_queue_depth",
+    "repro_job_queue_wait_seconds",
+    "repro_job_duration_seconds",
+    "repro_cache_hits_total",
+    "repro_cache_misses_total",
+    "repro_cache_evictions_total",
+    "repro_cache_entries",
+    "repro_cache_capacity",
+    "repro_service_up",
+    "repro_service_uptime_seconds",
+    "repro_engine_workers_alive",
+    "repro_engine_runs_total",
+    "repro_engine_supersteps_total",
+}
+
+
+class TestObservability:
+    """The PR's acceptance surface: exposition, tracing, health, timing.
+
+    Runs against the same module-scoped warm service as
+    :class:`TestServiceHTTP`, after it — so jobs and requests have
+    already flowed and every metric family has data.
+    """
+
+    def _run_job(self, client, source: int) -> dict:
+        code, sub = client.post(
+            "/jobs", {"algorithm": "bfs", "params": {"source": source}}
+        )
+        assert code == 202, sub
+        done = client.wait(sub["job_id"])
+        assert done["status"] == "done", done
+        return done
+
+    def test_metrics_exposition_is_valid_and_complete(self, client):
+        self._run_job(client, 20)  # ensure an engine-backed run happened
+        status, headers, text = client.get_raw("/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+        samples = assert_valid_exposition(text)
+        missing = _CORE_FAMILIES - samples.keys()
+        assert not missing, f"families absent from /metrics: {sorted(missing)}"
+        # Spot-check semantics, not just presence.
+        up = samples["repro_service_up"]
+        assert up == [({}, 1.0)]
+        request_total = sum(v for _, v in samples["repro_http_requests_total"])
+        assert request_total >= 1
+        assert any(
+            labels.get("route") == "/jobs" and labels.get("method") == "POST"
+            for labels, _ in samples["repro_http_requests_total"]
+        )
+        workers = samples["repro_engine_workers_alive"][0][1]
+        assert workers == 2.0
+
+    def test_metrics_json_snapshot(self, client):
+        code, snap = client.get("/metrics.json")
+        assert code == 200
+        assert snap["format_version"] == 1
+        names = {f["name"] for f in snap["families"]}
+        assert _CORE_FAMILIES <= names
+        by_name = {f["name"]: f for f in snap["families"]}
+        assert by_name["repro_http_requests_total"]["kind"] == "counter"
+        assert by_name["repro_job_queue_depth"]["kind"] == "gauge"
+        latency = by_name["repro_http_request_latency_seconds"]
+        assert latency["kind"] == "histogram"
+        assert latency["samples"][0]["count"] >= 1
+
+    def test_trace_id_round_trip(self, client, service):
+        """One client-chosen id correlates the submit response, the
+        response header, the job record, and the job's trace export."""
+        chosen = "cafe0123deadbeef"
+        status, headers, sub = client.post_raw(
+            "/jobs",
+            {"algorithm": "bfs", "params": {"source": 21}},
+            headers={"X-Trace-Id": chosen},
+        )
+        assert status == 202
+        assert sub["trace_id"] == chosen
+        assert headers["X-Trace-Id"] == chosen
+        done = client.wait(sub["job_id"])
+        assert done["trace_id"] == chosen
+        code, trace = client.get(f"/jobs/{sub['job_id']}/trace")
+        assert code == 200
+        assert trace["otherData"]["trace_id"] == chosen
+        assert trace["otherData"]["job_id"] == sub["job_id"]
+        spans = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+        assert spans, "non-cached job exported no spans"
+
+    def test_trace_id_generated_when_absent(self, client):
+        status, headers, sub = client.post_raw(
+            "/jobs", {"algorithm": "cc", "params": {}}
+        )
+        assert status == 202
+        assert re.fullmatch(r"[0-9a-f]{16}", sub["trace_id"])
+        assert headers["X-Trace-Id"] == sub["trace_id"]
+
+    def test_cached_job_trace_is_empty_but_valid(self, client):
+        params = {"algorithm": "bfs", "params": {"source": 22}}
+        _, first = client.post("/jobs", params)
+        assert client.wait(first["job_id"])["status"] == "done"
+        _, second = client.post("/jobs", params)
+        done = client.wait(second["job_id"])
+        assert done["cached"] is True
+        code, trace = client.get(f"/jobs/{second['job_id']}/trace")
+        assert code == 200
+        # Only Chrome metadata events ("M") — nothing executed.
+        assert [e for e in trace["traceEvents"] if e.get("ph") != "M"] == []
+        assert trace["otherData"]["job_id"] == second["job_id"]
+
+    def test_health_reports_liveness_fields(self, client):
+        code, body = client.get("/health")
+        assert code == 200
+        assert body["workers_alive"] == 2
+        assert isinstance(body["queue_depth"], int)
+        assert body["queue_depth"] >= 0
+        assert body["uptime_seconds"] > 0
+
+    def test_job_timing_fields(self, client):
+        done = self._run_job(client, 23)
+        assert done["queue_wait_seconds"] >= 0
+        assert done["run_seconds"] >= 0
+        assert done["finished_at"] >= done["started_at"]
+
+    def test_trace_id_in_every_response(self, client):
+        for path in ("/health", "/graph", "/jobs", "/metrics.json"):
+            _, headers, _ = client.get_raw(path)
+            assert re.fullmatch(r"[0-9a-f]{16}", headers["X-Trace-Id"]), path
+
+    def test_concurrent_scrapes_while_jobs_run(self, client):
+        """Hammer the read endpoints from threads during job traffic:
+        no errors, every scrape parses, request counters stay monotone."""
+        stop = threading.Event()
+        errors: list[Exception] = []
+        totals_per_scraper: dict[int, list[float]] = {}
+
+        def scraper(idx: int) -> None:
+            totals = totals_per_scraper.setdefault(idx, [])
+            try:
+                while not stop.is_set():
+                    _, _, text = client.get_raw("/metrics")
+                    samples = assert_valid_exposition(text)
+                    totals.append(
+                        sum(
+                            v
+                            for _, v in samples.get(
+                                "repro_http_requests_total", []
+                            )
+                        )
+                    )
+                    code, _ = client.get("/telemetry")
+                    assert code == 200
+            except Exception as exc:  # surfaced below
+                errors.append(exc)
+
+        def submitter(offset: int) -> None:
+            try:
+                for source in range(offset, offset + 3):
+                    self._run_job(client, 30 + source)
+            except Exception as exc:
+                errors.append(exc)
+
+        scrapers = [
+            threading.Thread(target=scraper, args=(i,)) for i in range(3)
+        ]
+        submitters = [
+            threading.Thread(target=submitter, args=(off,))
+            for off in (0, 3)
+        ]
+        for t in scrapers + submitters:
+            t.start()
+        for t in submitters:
+            t.join(timeout=120)
+        stop.set()
+        for t in scrapers:
+            t.join(timeout=30)
+        assert not errors, errors
+        for idx, totals in totals_per_scraper.items():
+            assert totals, f"scraper {idx} never completed a scrape"
+            assert totals == sorted(totals), (
+                f"request counter went backwards in scraper {idx}"
+            )
+
+    def test_no_metrics_service_exposes_empty_registry(self):
+        """``--no-metrics`` wiring: the null registry renders empty and
+        instrumented paths still work."""
+        graph = rmat(scale=5, edge_factor=8, seed=7)
+        with GraphAnalyticsService(
+            graph, num_workers=1, job_threads=1, cache_capacity=4,
+            metrics=NULL_METRICS,
+        ) as svc:
+            job = svc.submit("cc", {})
+            assert svc.jobs.wait(job.job_id).status == "done"
+            assert svc.metrics_text() == ""
+            assert svc.metrics_json()["families"] == []
 
 
 class TestFailedJobPropagation:

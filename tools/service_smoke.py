@@ -2,10 +2,12 @@
 
 Starts the server on a scale-8 RMAT graph, submits ``cc`` and ``bfs``
 jobs over HTTP, asserts the served results are bit-identical to direct
-library calls on the same graph, exercises one result-cache hit, then
-sends SIGTERM and verifies the graceful drain (exit code 0, drain
-banner, no orphaned processes).  This covers the process/signal path
-that the in-process suite (``tests/test_service.py``) cannot.
+library calls on the same graph, exercises one result-cache hit,
+scrapes ``/metrics`` and validates the Prometheus exposition (format
+and the core metric families), then sends SIGTERM and verifies the
+graceful drain (exit code 0, drain log line, no orphaned processes).
+This covers the process/signal path that the in-process suite
+(``tests/test_service.py``) cannot.
 
 Usage::
 
@@ -44,6 +46,59 @@ def _request(base: str, path: str, payload: dict | None = None) -> dict:
         return json.loads(resp.read())
 
 
+def _request_text(base: str, path: str) -> tuple[str, str]:
+    """GET returning (Content-Type header, body text)."""
+    with urllib.request.urlopen(base + path, timeout=30) as resp:
+        return resp.headers.get("Content-Type", ""), resp.read().decode()
+
+
+#: Families the exposition must carry after one engine-backed job, one
+#: cache hit, and a handful of HTTP requests.
+METRIC_FAMILIES = (
+    "repro_http_requests_total",
+    "repro_http_request_latency_seconds",
+    "repro_jobs_submitted_total",
+    "repro_jobs_completed_total",
+    "repro_job_queue_depth",
+    "repro_job_queue_wait_seconds",
+    "repro_job_duration_seconds",
+    "repro_cache_hits_total",
+    "repro_cache_misses_total",
+    "repro_cache_evictions_total",
+    "repro_engine_runs_total",
+    "repro_engine_supersteps_total",
+    "repro_service_up",
+)
+
+_SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(?:\{[^{}]*\})?"
+    r" (?:NaN|[+-]Inf|-?[0-9]+(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?)$"
+)
+
+
+def check_metrics(base: str) -> None:
+    """Scrape ``/metrics`` and validate format + core families."""
+    content_type, text = _request_text(base, "/metrics")
+    assert content_type.startswith("text/plain"), content_type
+    assert "version=0.0.4" in content_type, content_type
+    assert text.endswith("\n"), "exposition must end with a newline"
+    typed = set()
+    for line in text.splitlines():
+        if line.startswith("# TYPE "):
+            name, kind = line.split(" ")[2:4]
+            assert kind in ("counter", "gauge", "histogram"), line
+            typed.add(name)
+        elif not line.startswith("#"):
+            assert _SAMPLE_LINE.match(line), f"malformed sample: {line!r}"
+    missing = [f for f in METRIC_FAMILIES if f not in typed]
+    assert not missing, f"families absent from /metrics: {missing}"
+    assert "repro_service_up 1" in text.splitlines(), "service not up"
+    snapshot = _request(base, "/metrics.json")
+    assert snapshot["format_version"] == 1, snapshot.get("format_version")
+    print(f"metrics ok: {len(typed)} families, exposition valid")
+
+
 def _wait_job(base: str, job_id: str, timeout: float = 120.0) -> dict:
     deadline = time.monotonic() + timeout
     while time.monotonic() < deadline:
@@ -74,10 +129,13 @@ def main(argv: list[str] | None = None) -> int:
         text=True,
     )
     try:
+        # Startup is a structured `serve.start` log line carrying the
+        # bound address as a url= field.
         banner = proc.stdout.readline()
         print(banner, end="")
-        match = re.search(r"on (http://[\d.]+:\d+)", banner)
-        assert match, f"no server address in startup banner: {banner!r}"
+        assert "serve.start" in banner, f"unexpected first line: {banner!r}"
+        match = re.search(r"url=(http://[\d.]+:\d+)", banner)
+        assert match, f"no server address in startup line: {banner!r}"
         base = match.group(1)
 
         # The same graph the server built, computed directly in-process.
@@ -113,6 +171,8 @@ def main(argv: list[str] | None = None) -> int:
         cache = _request(base, "/telemetry")["service"]["cache"]
         assert cache["hits"] >= 1, f"no cache hit recorded: {cache}"
         print(f"cache ok: {cache['hits']} hit(s), {cache['misses']} miss(es)")
+
+        check_metrics(base)
 
         proc.send_signal(signal.SIGTERM)
         out, _ = proc.communicate(timeout=120)
