@@ -39,10 +39,24 @@ PROGRAMS = {
 }
 
 
+#: Warm-run repetitions for the recorder-overhead A/B (min-of-N damps
+#: scheduler noise well below the 2% budget being measured).
+OVERHEAD_REPEATS = 9
+
+
 def _time_run(engine, make_program):
     t0 = time.perf_counter()
     result = engine.run(make_program())
     return result, time.perf_counter() - t0
+
+
+def _best_time(engine, make_program, repeats=OVERHEAD_REPEATS):
+    """Min wall-clock over ``repeats`` warm runs on an already-warm pool."""
+    best = float("inf")
+    for _ in range(repeats):
+        _, elapsed = _time_run(engine, make_program)
+        best = min(best, elapsed)
+    return best
 
 
 def bench_parallel_scaling(benchmark, workload, capsys):
@@ -66,9 +80,43 @@ def bench_parallel_scaling(benchmark, workload, capsys):
                     results[name, workers], times[name, workers] = _time_run(
                         engine, make_program
                     )
-        return results, times
+        # Flight-recorder overhead A/B: the same CC workload on the same
+        # worker count with the recorder forced on vs. forced off.  The
+        # recorder is default-on, so this measures what everyone pays;
+        # the acceptance budget is <2% (asserted below at gating scale).
+        # Both engines live simultaneously and the timed runs interleave
+        # (on, off, on, off, ...), so host-load drift hits both sides
+        # equally instead of biasing whichever ran second; min-of-N then
+        # discards the scheduling outliers.
+        overhead_workers = 4 if (os.cpu_count() or 1) >= 4 else 2
+        engines = {
+            recorder_on: ShardedBSPEngine(
+                graph,
+                num_workers=overhead_workers,
+                partition="balanced-edge",
+                flight_recorder=recorder_on,
+            )
+            for recorder_on in (True, False)
+        }
+        recorder_seconds = {True: float("inf"), False: float("inf")}
+        try:
+            for engine in engines.values():
+                engine.run(PROGRAMS["cc"]())  # warm the pools
+            for _ in range(OVERHEAD_REPEATS):
+                for recorder_on, engine in engines.items():
+                    _, elapsed = _time_run(engine, PROGRAMS["cc"])
+                    recorder_seconds[recorder_on] = min(
+                        recorder_seconds[recorder_on], elapsed
+                    )
+        finally:
+            for engine in engines.values():
+                engine.close()
+        return results, times, overhead_workers, recorder_seconds
 
-    results, times = once(benchmark, run)
+    results, times, overhead_workers, recorder_seconds = once(benchmark, run)
+    recorder_overhead_pct = 100.0 * (
+        recorder_seconds[True] - recorder_seconds[False]
+    ) / recorder_seconds[False]
 
     # Every point on the curve is the same computation.
     for name in PROGRAMS:
@@ -101,6 +149,16 @@ def bench_parallel_scaling(benchmark, workload, capsys):
             f"expected >1.7x at 4 workers on a {cores}-core host, "
             f"got {best_at_4:.2f}x"
         )
+        # Default-on means the recorder's cost is everyone's cost: the
+        # budget is <2% on the measured (min-of-N, warm-pool) CC run.
+        # Gated like the speedup bar — small graphs measure dispatch
+        # jitter, not the ~1-2us/record the recorder actually adds.
+        assert recorder_overhead_pct < 2.0, (
+            f"flight recorder overhead {recorder_overhead_pct:.2f}% "
+            f"exceeds the 2% budget "
+            f"(on={recorder_seconds[True]:.4f}s, "
+            f"off={recorder_seconds[False]:.4f}s)"
+        )
 
     info = dict(
         host_cores=cores,
@@ -116,6 +174,10 @@ def bench_parallel_scaling(benchmark, workload, capsys):
             name: {str(w): round(s, 2) for w, s in speedups[name].items()}
             for name in PROGRAMS
         },
+        recorder_overhead_pct=round(recorder_overhead_pct, 3),
+        recorder_on_seconds=round(recorder_seconds[True], 4),
+        recorder_off_seconds=round(recorder_seconds[False], 4),
+        recorder_overhead_workers=overhead_workers,
         paper="Figure 3 shape: near-linear at apex levels, flat tails",
     )
     benchmark.extra_info.update(info)
@@ -146,3 +208,9 @@ def bench_parallel_scaling(benchmark, workload, capsys):
                 f"  {name:<6}{format_seconds(times[name, 'dense']):>10}"
                 f"{row}   {speedups[name][4]:.2f}x"
             )
+        print(
+            f"  flight recorder overhead (cc, {overhead_workers}w, "
+            f"min of {OVERHEAD_REPEATS}): {recorder_overhead_pct:+.2f}% "
+            f"(on {format_seconds(recorder_seconds[True])}, "
+            f"off {format_seconds(recorder_seconds[False])}; budget <2%)"
+        )

@@ -62,7 +62,9 @@ import threading
 import time
 import traceback
 import warnings
+from collections import deque
 from multiprocessing import get_all_start_methods, get_context, shared_memory
+from pathlib import Path
 from typing import Any, Callable
 
 import numpy as np
@@ -77,6 +79,20 @@ from repro.cluster.partition import (
 )
 from repro.graph.csr import CSRGraph
 from repro.telemetry.core import Telemetry, peak_rss_bytes, worker_track
+from repro.telemetry.flightrec import (
+    EV_ENTER,
+    EV_EXIT,
+    EV_PROGRESS,
+    EV_RSS,
+    PH_GATHER,
+    PH_IDLE,
+    PH_RUN,
+    PH_SCATTER,
+    FlightRecorder,
+    RingWriter,
+    StallWatchdog,
+    straggler_skew_ns,
+)
 from repro.xmt.calibration import DEFAULT_COSTS, KernelCosts
 
 __all__ = [
@@ -84,6 +100,7 @@ __all__ = [
     "ShardedBSPEngine",
     "ShardedWorkerError",
     "ShardedWriteRaceError",
+    "WorkerStallError",
 ]
 
 #: Placement policies understood by :class:`ShardedBSPEngine`.
@@ -91,7 +108,57 @@ PARTITION_POLICIES = ("hash", "balanced-edge")
 
 
 class ShardedWorkerError(RuntimeError):
-    """A shard worker failed while executing its slice of a superstep."""
+    """A shard worker failed while executing its slice of a superstep.
+
+    Attributes
+    ----------
+    worker_tracebacks:
+        ``{worker_index: traceback_text}`` — each failed worker's
+        traceback, verbatim as formatted inside the worker process.
+    postmortem_path:
+        Path of the flight-recorder postmortem bundle dumped for this
+        failure, or None when no recorder was attached.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        worker_tracebacks: dict[int, str] | None = None,
+        postmortem_path: Path | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.worker_tracebacks = dict(worker_tracebacks or {})
+        self.postmortem_path = postmortem_path
+
+    @property
+    def postmortem_id(self) -> str | None:
+        """Bundle id usable with ``GET /debug/postmortem/<id>``."""
+        if self.postmortem_path is None:
+            return None
+        return Path(self.postmortem_path).stem
+
+
+class WorkerStallError(ShardedWorkerError):
+    """A shard worker went silent past the engine's ``stall_timeout``.
+
+    Raised from the parent's pipe-receive loop when a worker it is
+    waiting on has recorded no flight-recorder event (no phase change,
+    no progress tick) within ``stall_timeout`` seconds — the sharded
+    signature of a wedged or livelocked shard.  ``worker`` names the
+    stalled shard; the base-class ``postmortem_path`` points at the
+    bundle dumped before raising.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        worker: int | None = None,
+        postmortem_path: Path | None = None,
+    ) -> None:
+        super().__init__(message, postmortem_path=postmortem_path)
+        self.worker = worker
 
 
 class ShardedWriteRaceError(RuntimeError):
@@ -128,6 +195,17 @@ def _check_mode_from_env() -> bool:
     """Resolve the ``REPRO_SHARDED_CHECK`` default for ``check=None``."""
     env = os.environ.get("REPRO_SHARDED_CHECK", "").strip().lower()
     return env not in ("", "0", "false", "no", "off")
+
+
+def _flight_recorder_from_env() -> bool:
+    """Resolve ``REPRO_FLIGHT_RECORDER`` for ``flight_recorder=None``.
+
+    The recorder is **default-on** (its steady cost is a handful of
+    48-byte ring writes per worker per superstep); the variable exists
+    to switch it off wholesale for overhead A/B runs.
+    """
+    env = os.environ.get("REPRO_FLIGHT_RECORDER", "").strip().lower()
+    return env not in ("0", "false", "no", "off")
 
 
 # ---------------------------------------------------------------------------
@@ -178,6 +256,30 @@ def _release_block(shm: shared_memory.SharedMemory | None) -> None:
 # ---------------------------------------------------------------------------
 
 
+#: Arc-range chunk per ``combine.at`` call when the flight recorder is
+#: attached — a progress tick lands between chunks, so the parent can
+#: distinguish "grinding through a huge shard" from "wedged".  Chunks
+#: are applied in index order, so the fold's element ordering (and hence
+#: bit-exactness vs. the single-call path) is preserved.
+_PROGRESS_CHUNK_ARCS = 1 << 18
+
+_PHASE_BY_CMD = {"run": PH_RUN, "scatter": PH_SCATTER, "gather": PH_GATHER}
+
+
+def _combine_at_chunked(program, gathered_out, dst, payload, ring, step):
+    """``combine.at`` in arc-order chunks, ticking progress after each."""
+    total = int(dst.size)
+    # A scalar / broadcast payload cannot be sliced alongside dst.
+    sliceable = payload.ndim == 1 and payload.shape[0] == total
+    done = 0
+    while done < total:
+        end = min(done + _PROGRESS_CHUNK_ARCS, total)
+        chunk = payload[done:end] if sliceable else payload
+        program.combine.at(gathered_out, dst[done:end], chunk)
+        done = end
+        ring.record(EV_PROGRESS, PH_GATHER, step, done, total)
+
+
 def _worker_main(conn, spec: dict) -> None:
     """Shard worker: serve scatter/gather tasks until told to close.
 
@@ -187,12 +289,27 @@ def _worker_main(conn, spec: dict) -> None:
     (generation, arc selection, destinations) of the last scatter,
     reused by the gather of the following superstep.  All traffic is
     encoded by the wire codec named in ``spec["wire"]``.
+
+    When the parent attached a flight recorder (``spec["flightrec"]``),
+    every task brackets itself with enter/exit events in this worker's
+    shared-memory ring, samples RSS before replying, and the gather's
+    combine fold ticks progress every :data:`_PROGRESS_CHUNK_ARCS` arcs
+    — the breadcrumbs the parent's stall watchdog and ``repro top``
+    read without any extra pipe traffic.
     """
     n = spec["num_vertices"]
     m = spec["num_arcs"]
     w = spec["worker_index"]
     wire = make_wire(spec["wire"])
     handles: list[shared_memory.SharedMemory] = []
+    ring: RingWriter | None = None
+    if spec.get("flightrec") is not None:
+        try:
+            ring = RingWriter(
+                spec["flightrec"]["shm"], spec["flightrec"]["capacity"], w
+            )
+        except Exception:  # pragma: no cover - recording is best-effort
+            ring = None
 
     def attach_array(name, shape, dtype):
         shm = _attach(name)
@@ -251,6 +368,10 @@ def _worker_main(conn, spec: dict) -> None:
             # The nanosecond read and the getrusage call together cost
             # ~1us per task — negligible against any superstep's work.
             t_busy = time.perf_counter_ns()
+            phase = _PHASE_BY_CMD.get(cmd, PH_IDLE)
+            step = int(msg[1]) if cmd in ("scatter", "gather") else -1
+            if ring is not None:
+                ring.record(EV_ENTER, phase, step)
             try:
                 if cmd == "run":
                     (_, program, values_name, values_dtype, gathered_name,
@@ -285,31 +406,32 @@ def _worker_main(conn, spec: dict) -> None:
                         shadow_out = None
                     sel = dst = None
                     generation = -1
-                    wire.send(
-                        conn,
-                        (
-                            "ok",
-                            time.perf_counter_ns() - t_busy,
-                            peak_rss_bytes() or 0,
-                        ),
-                    )
+                    busy = time.perf_counter_ns() - t_busy
+                    rss = peak_rss_bytes() or 0
+                    if ring is not None:
+                        ring.record(EV_RSS, phase, step, rss)
+                        ring.record(EV_EXIT, phase, step, 0, busy)
+                    wire.send(conn, ("ok", busy, rss))
                 elif cmd == "scatter":
                     _, gen, senders, mode = msg
                     refresh_scatter(gen, senders, mode)
-                    wire.send(
-                        conn,
-                        (
-                            "ok",
-                            int(dst.size),
-                            time.perf_counter_ns() - t_busy,
-                            peak_rss_bytes() or 0,
-                        ),
-                    )
+                    busy = time.perf_counter_ns() - t_busy
+                    rss = peak_rss_bytes() or 0
+                    if ring is not None:
+                        ring.record(EV_RSS, phase, step, rss)
+                        ring.record(EV_EXIT, phase, step, int(dst.size), busy)
+                    wire.send(conn, ("ok", int(dst.size), busy, rss))
                 elif cmd == "gather":
                     _, gen, senders, mode = msg
                     hist_fresh = gen != generation
                     if hist_fresh:  # stale cache: no prior scatter call
                         refresh_scatter(gen, senders, mode)
+                    if ring is not None:
+                        # Announce the arc total up front: the watchdog
+                        # can tell a slow payload hook from a dead one.
+                        ring.record(
+                            EV_PROGRESS, phase, step, 0, int(dst.size)
+                        )
                     if shadow_out is not None:
                         # Check mode: run the payload hook on a private
                         # copy of the shared state and publish the
@@ -329,24 +451,41 @@ def _worker_main(conn, spec: dict) -> None:
                         )
                     gathered_out[:] = program.combine_identity
                     if dst.size:
-                        program.combine.at(gathered_out, dst, payload)
+                        if ring is not None:
+                            _combine_at_chunked(
+                                program, gathered_out, dst, payload,
+                                ring, step,
+                            )
+                        else:
+                            program.combine.at(gathered_out, dst, payload)
+                    busy = time.perf_counter_ns() - t_busy
+                    rss = peak_rss_bytes() or 0
+                    if ring is not None:
+                        ring.record(EV_RSS, phase, step, rss)
+                        ring.record(EV_EXIT, phase, step, int(dst.size), busy)
                     wire.send(
                         conn,
-                        (
-                            "ok",
-                            int(dst.size),
-                            int(hist_fresh),
-                            time.perf_counter_ns() - t_busy,
-                            peak_rss_bytes() or 0,
-                        ),
+                        ("ok", int(dst.size), int(hist_fresh), busy, rss),
                     )
                 else:
+                    if ring is not None:
+                        ring.record(EV_EXIT, phase, step, -1, 0)
                     wire.send(conn, ("error", f"unknown command {cmd!r}"))
             except Exception:
+                # Close the phase even on failure so the recorder never
+                # shows an eternally-open phase for a worker that in
+                # fact replied with an error.
+                if ring is not None:
+                    ring.record(
+                        EV_EXIT, phase, step, -1,
+                        time.perf_counter_ns() - t_busy,
+                    )
                 wire.send(conn, ("error", traceback.format_exc()))
     except (EOFError, OSError, KeyboardInterrupt):  # parent went away
         pass
     finally:
+        if ring is not None:
+            ring.close()
         for shm in run_shms + handles:
             try:
                 shm.close()
@@ -401,6 +540,30 @@ class ShardedBSPEngine(DenseBSPEngine):
         Well-behaved programs produce bit-identical results with the
         mode on or off, at the cost of one values-array copy per worker
         per delivering superstep.
+    flight_recorder:
+        Worker flight recorder (shared-memory event rings; see
+        :mod:`repro.telemetry.flightrec`).  **Default-on**: ``None``
+        resolves via the ``REPRO_FLIGHT_RECORDER`` environment variable
+        (on unless explicitly disabled), ``False`` disables, ``True``
+        builds a default :class:`~repro.telemetry.flightrec.FlightRecorder`,
+        and an unbound instance is adopted (the engine opens and closes
+        it).  With a recorder attached, workers bracket every task with
+        enter/exit ring events, tick gather progress per arc chunk, and
+        sample RSS; the engine computes per-barrier straggler skew
+        (``straggler_skew_ns`` / ``straggler_count`` telemetry
+        counters), exposes :meth:`worker_status`, and dumps a
+        postmortem bundle to the recorder's ``postmortem_dir`` on any
+        worker crash, error, or stall.
+    stall_timeout:
+        Seconds of worker silence the parent tolerates while awaiting a
+        barrier reply before declaring the worker stalled and raising
+        :class:`WorkerStallError` (None — the default — waits forever,
+        the pre-recorder behaviour).  With a recorder attached the
+        clock is the worker's *ring* age (progress ticks keep a slow
+        but live worker alive past the deadline); without one it is a
+        wall deadline per reply.  :meth:`close` reuses the same bound
+        when draining worker pipes, so shutdown can never hang on a
+        wedged worker.
     combine_messages, frontier_policy, aggregators, costs, telemetry:
         As for :class:`DenseBSPEngine`.  With telemetry enabled the
         engine additionally records per-worker busy spans (one trace
@@ -419,6 +582,8 @@ class ShardedBSPEngine(DenseBSPEngine):
         start_method: str | None = None,
         wire: str | None = None,
         check: bool | None = None,
+        flight_recorder: "FlightRecorder | bool | None" = None,
+        stall_timeout: float | None = None,
         combine_messages: bool = False,
         frontier_policy: FrontierPolicy | None = None,
         aggregators: dict | None = None,
@@ -451,6 +616,35 @@ class ShardedBSPEngine(DenseBSPEngine):
         #: payloads; excludes the OS pipe framing).  Always maintained,
         #: telemetry or not — the byte-packing tests assert on it.
         self.pipe_bytes = 0
+
+        if stall_timeout is not None:
+            stall_timeout = float(stall_timeout)
+            if stall_timeout <= 0:
+                raise ValueError("stall_timeout must be positive")
+        #: Stall deadline in seconds (None: never time a worker out).
+        self.stall_timeout = stall_timeout
+        if flight_recorder is None:
+            flight_recorder = _flight_recorder_from_env()
+        if flight_recorder is True:
+            recorder: FlightRecorder | None = FlightRecorder()
+        elif flight_recorder is False:
+            recorder = None
+        else:
+            recorder = flight_recorder
+        #: The attached :class:`~repro.telemetry.flightrec.FlightRecorder`
+        #: (None when disabled).  The engine owns its open/close.
+        self.flight_recorder = recorder
+        #: True once any worker tripped the stall deadline.
+        self.stall_detected = False
+        #: Count of distinct stall detections (watchdog + recv loop).
+        self.stall_events = 0
+        #: Last completed barrier's slowest-vs-median worker gap, seconds.
+        self.superstep_skew_seconds = 0.0
+        # Per-barrier skew samples awaiting the service's histogram
+        # bridge (deque: drained thread-safely by drain_skew_samples).
+        self._skew_samples: deque[float] = deque(maxlen=4096)
+        self._last_barrier: dict[str, Any] = {}
+        self._watchdog: StallWatchdog | None = None
 
         if isinstance(partition, str):
             if partition == "hash":
@@ -508,12 +702,17 @@ class ShardedBSPEngine(DenseBSPEngine):
         self._procs = []
 
         try:
+            if recorder is not None:
+                recorder.open(num_workers)
             spec = {
                 "num_vertices": n,
                 "num_arcs": graph.num_arcs,
                 "directed": graph.directed,
                 "sorted_adjacency": graph.sorted_adjacency,
                 "wire": wire,
+                "flightrec": (
+                    recorder.worker_spec() if recorder is not None else None
+                ),
                 "row_ptr": self._share(graph.row_ptr),
                 "col_idx": self._share(graph.col_idx),
                 "weights": (
@@ -541,6 +740,13 @@ class ShardedBSPEngine(DenseBSPEngine):
                 child_conn.close()
                 self._conns.append(parent_conn)
                 self._procs.append(proc)
+            if recorder is not None:
+                self._watchdog = StallWatchdog(
+                    recorder,
+                    stall_timeout=self.stall_timeout,
+                    on_stall=self._on_watchdog_stall,
+                )
+                self._watchdog.start()
         except Exception:
             self.close()
             raise
@@ -597,6 +803,15 @@ class ShardedBSPEngine(DenseBSPEngine):
         count_legacy = record and self.wire_format == "packed"
         nbytes = 0
         legacy_bytes = 0
+        # Freeze the barrier's identity before any pipe traffic: this is
+        # what a postmortem bundle reports as "where the run died".
+        self._last_barrier = {
+            "phase": phase or "control",
+            "superstep": int(self._tel_superstep),
+            "generation": int(self._generation),
+            "workers": sorted(tasks),
+            "wall_time": time.time(),
+        }
         t0 = tel.now()
         for w, payload in tasks.items():
             nbytes += wire.send(self._conns[w], payload)
@@ -606,7 +821,7 @@ class ShardedBSPEngine(DenseBSPEngine):
         errors: list[tuple[int, str]] = []
         for w in tasks:
             try:
-                reply, reply_bytes = wire.recv(self._conns[w])
+                reply, reply_bytes = self._recv_frame(w)
             except (EOFError, OSError):
                 errors.append((w, "worker process died"))
                 continue
@@ -634,9 +849,39 @@ class ShardedBSPEngine(DenseBSPEngine):
             detail = "\n".join(
                 f"[shard worker {w}] {text}" for w, text in errors
             )
-            raise ShardedWorkerError(
-                f"{len(errors)} shard worker(s) failed:\n{detail}"
+            crashed = any(
+                text == "worker process died" for _, text in errors
             )
+            path = self._dump_postmortem(
+                reason="worker_crash" if crashed else "worker_error",
+                error=detail,
+            )
+            raise ShardedWorkerError(
+                f"{len(errors)} shard worker(s) failed:\n{detail}",
+                worker_tracebacks=dict(errors),
+                postmortem_path=path,
+            )
+        if phase is not None and len(replies) >= 2:
+            # Straggler classification: the BSP model prices a superstep
+            # by its slowest worker, so the slowest-vs-median gap is the
+            # time the balanced-partition assumption failed to deliver.
+            skew_ns, stragglers = straggler_skew_ns(
+                int(reply[-2]) for reply in replies.values()
+            )
+            self.superstep_skew_seconds = skew_ns / 1e9
+            self._skew_samples.append(skew_ns / 1e9)
+            if record:
+                tel.counter(
+                    "straggler_skew_ns",
+                    skew_ns,
+                    superstep=self._tel_superstep,
+                )
+                if stragglers:
+                    tel.counter(
+                        "straggler_count",
+                        stragglers,
+                        superstep=self._tel_superstep,
+                    )
         if record:
             t1 = tel.now()
             tel.add_span(
@@ -680,6 +925,155 @@ class ShardedBSPEngine(DenseBSPEngine):
                         superstep=self._tel_superstep,
                     )
         return replies
+
+    def _recv_frame(self, w: int) -> tuple[Any, int]:
+        """Receive one frame from worker ``w``, bounded by the stall deadline.
+
+        Without a ``stall_timeout`` this is the plain blocking receive.
+        With one, the wait polls: a dead worker raises :class:`EOFError`
+        (after draining any reply already in the pipe), and a silent
+        worker — no flight-recorder event within the deadline, or past
+        the wall deadline when no recorder is attached — raises
+        :class:`WorkerStallError` with a postmortem bundle on disk.
+        The ring age is the authority when available: a worker grinding
+        through a huge shard keeps itself alive with progress ticks,
+        while one wedged *anywhere* (even stopped before reading the
+        command) goes silent and trips the deadline.
+        """
+        conn = self._conns[w]
+        timeout = self.stall_timeout
+        if timeout is None:
+            return self._wire.recv(conn)
+        recorder = self.flight_recorder
+        deadline = time.monotonic() + timeout
+        while not conn.poll(0.05):
+            if not self._procs[w].is_alive() and not conn.poll(0):
+                raise EOFError(f"shard worker {w} exited")
+            age = (
+                recorder.seconds_since_last_event(w)
+                if recorder is not None and recorder.is_open
+                else None
+            )
+            stalled = (
+                age > timeout
+                if age is not None
+                else time.monotonic() > deadline
+            )
+            if stalled:
+                self._raise_stall(w, age if age is not None else timeout)
+        return self._wire.recv(conn)
+
+    def _raise_stall(self, w: int, age: float) -> None:
+        self.stall_detected = True
+        self.stall_events += 1
+        if self.telemetry.enabled:
+            self.telemetry.counter(
+                "stall_detected",
+                1,
+                track=worker_track(w),
+                superstep=self._tel_superstep,
+            )
+        message = (
+            f"shard worker {w} stalled: no progress for {age:.3f}s "
+            f"(stall_timeout={self.stall_timeout}s)"
+        )
+        path = self._dump_postmortem(reason="stall", error=message)
+        raise WorkerStallError(message, worker=w, postmortem_path=path)
+
+    def _on_watchdog_stall(self, w: int, age: float) -> None:
+        """Watchdog-thread edge callback: flag without raising.
+
+        The authoritative raise happens in :meth:`_recv_frame` on the
+        thread that owns the run; the watchdog only latches the flag so
+        health endpoints see the stall even between barriers.
+        """
+        self.stall_detected = True
+        self.stall_events += 1
+
+    def _dump_postmortem(
+        self, *, reason: str, error: str | None = None
+    ) -> Path | None:
+        """Write a postmortem bundle; None when no recorder is attached."""
+        recorder = self.flight_recorder
+        if recorder is None or not recorder.is_open:
+            return None
+        try:
+            return recorder.dump_postmortem(
+                reason=reason,
+                error=error,
+                engine=self._engine_info(),
+                last_barrier=dict(self._last_barrier),
+                partition=self._partition_info(),
+                workers=[
+                    {
+                        "worker": w,
+                        "pid": proc.pid,
+                        "alive": proc.is_alive(),
+                        "exitcode": proc.exitcode,
+                    }
+                    for w, proc in enumerate(self._procs)
+                ],
+            )
+        except OSError:  # pragma: no cover - unwritable results dir
+            return None
+
+    def _engine_info(self) -> dict:
+        return {
+            "pid": os.getpid(),
+            "engine": type(self).__name__,
+            "num_workers": self.num_workers,
+            "wire": self.wire_format,
+            "check": self.check,
+            "stall_timeout": self.stall_timeout,
+            "num_vertices": int(self.graph.num_vertices),
+            "num_arcs": int(self.graph.num_arcs),
+        }
+
+    def _partition_info(self) -> dict:
+        info = {
+            "policy": self.partition_policy,
+            "num_workers": self.num_workers,
+            "shard_sizes": [int(shard.size) for shard in self.shards],
+        }
+        # The full map is O(vertices); embed it only when small enough
+        # to keep bundles readable, the shard sizes always.
+        if self.assignment.size <= 4096:
+            info["assignment"] = self.assignment.tolist()
+        return info
+
+    # -- live introspection ---------------------------------------------
+    def worker_status(self) -> list[dict]:
+        """Per-worker liveness + flight-recorder status rows.
+
+        One dict per worker with ``pid``/``alive`` from the process
+        table and, when the recorder is attached, the decoded ring view
+        (phase, superstep, progress ratio, rss, last-event age).  This
+        is what ``GET /debug/workers`` and ``repro top`` render.
+        """
+        recorder = self.flight_recorder
+        now_ns = time.monotonic_ns()
+        rows = []
+        for w in range(self.num_workers):
+            if recorder is not None and recorder.is_open:
+                row = recorder.status(w).to_dict(now_ns=now_ns)
+            else:
+                row = {"worker": w}
+            proc = self._procs[w] if w < len(self._procs) else None
+            row["pid"] = proc.pid if proc is not None else None
+            row["alive"] = bool(proc is not None and proc.is_alive())
+            rows.append(row)
+        return rows
+
+    def drain_skew_samples(self) -> list[float]:
+        """Pop and return the per-barrier skew samples (seconds) queued
+        since the last drain — the service feeds these to the
+        ``repro_superstep_skew_seconds`` histogram on scrape."""
+        out: list[float] = []
+        while True:
+            try:
+                out.append(self._skew_samples.popleft())
+            except IndexError:
+                return out
 
     def _split(self, vertices: np.ndarray) -> list[np.ndarray]:
         """Partition a sorted vertex set along the machine assignment."""
@@ -987,16 +1381,28 @@ class ShardedBSPEngine(DenseBSPEngine):
         if self._closed:
             return
         self._closed = True
+        if self._watchdog is not None:
+            self._watchdog.stop()
+            self._watchdog = None
+        # Bounded drain: reuse the watchdog deadline (or a 5s default)
+        # per escalation step, so a wedged worker — e.g. one stopped by
+        # SIGSTOP, to which SIGTERM is queued but never delivered —
+        # cannot hang shutdown.  join → terminate → kill: SIGKILL is the
+        # only signal a stopped process cannot ignore.
+        drain = self.stall_timeout if self.stall_timeout is not None else 5.0
         for conn in self._conns:
             try:
                 self._wire.send(conn, ("close",))
             except (BrokenPipeError, OSError):
                 pass
         for proc in self._procs:
-            proc.join(timeout=10)
-            if proc.is_alive():  # pragma: no cover - defensive
+            proc.join(timeout=drain)
+            if proc.is_alive():
                 proc.terminate()
-                proc.join(timeout=10)
+                proc.join(timeout=drain)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=drain)
         for conn in self._conns:
             conn.close()
         # Detach the engine's state from shared memory before unlinking
@@ -1015,6 +1421,8 @@ class ShardedBSPEngine(DenseBSPEngine):
         self._values_shm = None
         self._gathered_shm = None
         self._shadow_shm = None
+        if self.flight_recorder is not None:
+            self.flight_recorder.close()
 
     def __del__(self) -> None:  # pragma: no cover - GC safety net
         try:

@@ -15,6 +15,7 @@ Renders each of the paper's experiments as ASCII tables::
     python -m repro.cli bench ...         # benchmark history + regression gate
     python -m repro.cli serve ...         # long-lived graph-analytics server
     python -m repro.cli check ...         # BSP program linter / contracts
+    python -m repro.cli top ...           # live per-worker engine view
     python -m repro.cli version           # exact package version
 
 ``profile`` is its own subcommand (see :mod:`repro.telemetry.profile`):
@@ -26,7 +27,10 @@ loads one graph into the sharded engine's shared-memory CSR and serves
 algorithm jobs over HTTP — submit, poll, fetch results / telemetry /
 traces.  ``check`` (see :mod:`repro.check.cli`) statically lints vertex
 programs for determinism/race hazards and property-tests combiner
-contracts.  ``version`` (also ``--version``) prints the installed
+contracts.  ``top`` (see :mod:`repro.telemetry.top`) attaches to a live
+sharded engine — via its flight-recorder beacon or a ``repro serve``
+URL — and renders per-worker phase/progress/rss like ``top(1)``.
+``version`` (also ``--version``) prints the installed
 package version, so ledger provenance and bug reports can cite an exact
 release.
 
@@ -345,6 +349,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.check.cli import main as check_main
 
         return check_main(argv[1:])
+    if argv and argv[0] == "top":
+        from repro.telemetry.top import main as top_main
+
+        return top_main(argv[1:])
     if argv and argv[0] in ("version", "--version"):
         from repro.bench.ledger import package_version
 

@@ -30,6 +30,11 @@ from repro.service.cache import ResultCache
 from repro.service.jobs import Job, JobManager
 from repro.service.runner import ALGORITHMS, canonicalize_params, run_algorithm
 from repro.telemetry.core import Telemetry
+from repro.telemetry.flightrec import (
+    PHASE_NAMES,
+    list_postmortems,
+    load_postmortem,
+)
 from repro.telemetry.export import chrome_trace, telemetry_report
 from repro.telemetry.logs import NULL_LOGGER
 from repro.telemetry.metrics import (
@@ -84,6 +89,12 @@ class GraphAnalyticsService:
         records; defaults to the silent
         :data:`~repro.telemetry.logs.NULL_LOGGER` so in-process
         embedding produces no output.
+    flight_recorder, stall_timeout:
+        Passed through to :class:`~repro.bsp.parallel.ShardedBSPEngine`
+        — the flight recorder is default-on, and ``stall_timeout``
+        bounds how long a barrier waits on a silent worker before the
+        job fails with a stall error (and a postmortem bundle, served
+        via ``GET /debug/postmortem/<id>``).
     """
 
     def __init__(
@@ -97,6 +108,8 @@ class GraphAnalyticsService:
         telemetry: Telemetry | None = None,
         metrics=None,
         logger=None,
+        flight_recorder=None,
+        stall_timeout: float | None = None,
     ) -> None:
         self.graph = graph
         self.fingerprint = graph.fingerprint()
@@ -116,6 +129,8 @@ class GraphAnalyticsService:
             num_workers=self.num_workers,
             partition=partition,
             telemetry=self.telemetry,
+            flight_recorder=flight_recorder,
+            stall_timeout=stall_timeout,
         )
         # Jobs last: workers must never observe a half-built service.
         self.jobs = JobManager(
@@ -192,6 +207,7 @@ class GraphAnalyticsService:
                 trace_id=job.trace_id,
                 algorithm=job.algorithm,
                 error=f"{type(exc).__name__}: {exc}",
+                postmortem_id=getattr(exc, "postmortem_id", None),
             )
             raise
         job.trace_window = (window_start, tel.now())
@@ -227,11 +243,43 @@ class GraphAnalyticsService:
             "algorithms": list(ALGORITHMS),
             "num_workers": self.num_workers,
             "workers_alive": self.engine.workers_alive,
+            "stall_detected": self.engine.stall_detected,
             "queue_depth": self.jobs.queue_depth(),
             "graph": self.graph_info(),
             "jobs": self.jobs.counts(),
             "cache": self.cache.stats(),
         }
+
+    # -- worker debugging -------------------------------------------------
+    def debug_workers(self) -> dict:
+        """The ``GET /debug/workers`` body: live flight-recorder view."""
+        engine = self.engine
+        recorder = engine.flight_recorder
+        return {
+            "flight_recorder": bool(
+                recorder is not None and recorder.is_open
+            ),
+            "stall_timeout": engine.stall_timeout,
+            "stall_detected": engine.stall_detected,
+            "stall_events": engine.stall_events,
+            "superstep_skew_seconds": engine.superstep_skew_seconds,
+            "partition_policy": engine.partition_policy,
+            "workers": engine.worker_status(),
+        }
+
+    def _postmortem_dir(self):
+        recorder = self.engine.flight_recorder
+        if recorder is not None:
+            return recorder.postmortem_dir
+        return "results/postmortem"
+
+    def postmortem_ids(self) -> list[str]:
+        """The ``GET /debug/postmortem`` body: bundle ids on disk."""
+        return list_postmortems(self._postmortem_dir())
+
+    def postmortem(self, pm_id: str) -> dict | None:
+        """One postmortem bundle by id (None: unknown/malformed id)."""
+        return load_postmortem(self._postmortem_dir(), pm_id)
 
     # -- metrics ---------------------------------------------------------
     def collect_metrics(self) -> None:
@@ -255,6 +303,38 @@ class GraphAnalyticsService:
             "repro_engine_workers_alive",
             "Shard worker processes currently alive.",
         ).set(self.engine.workers_alive)
+        engine = self.engine
+        recorder = engine.flight_recorder
+        if recorder is not None and recorder.is_open:
+            # One-hot phase gauges plus a progress ratio per worker —
+            # label cardinality is bounded by num_workers x 4 phases.
+            for row in engine.worker_status():
+                worker = str(row["worker"])
+                current = row.get("phase")
+                for phase in PHASE_NAMES.values():
+                    self.metrics.gauge(
+                        "repro_worker_phase",
+                        "1 for the worker's current flight-recorder "
+                        "phase, 0 for the others.",
+                        {"worker": worker, "phase": phase},
+                    ).set(1 if phase == current else 0)
+                self.metrics.gauge(
+                    "repro_worker_progress_ratio",
+                    "Fraction of the current phase's arc range the "
+                    "worker has processed (1 when idle).",
+                    {"worker": worker},
+                ).set(float(row.get("progress_ratio", 0.0)))
+        skew_hist = self.metrics.histogram(
+            "repro_superstep_skew_seconds",
+            "Per-barrier slowest-vs-median worker busy-time gap — the "
+            "skew the BSP model's balanced-work assumption says is 0.",
+            buckets=(
+                0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05,
+                0.1, 0.5, 1.0, 5.0,
+            ),
+        )
+        for sample in engine.drain_skew_samples():
+            skew_hist.observe(sample)
 
     def metrics_text(self) -> str:
         """The ``GET /metrics`` body (Prometheus text exposition)."""

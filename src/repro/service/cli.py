@@ -101,6 +101,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-metrics", action="store_true",
                         help="disable the metrics registry entirely "
                              "(/metrics serves an empty exposition)")
+    parser.add_argument("--stall-timeout", type=float, default=30.0,
+                        metavar="SECONDS",
+                        help="declare a shard worker stalled after this "
+                             "many seconds without a flight-recorder "
+                             "event mid-barrier (0 disables; default "
+                             "%(default)s)")
+    parser.add_argument("--no-flight-recorder", action="store_true",
+                        help="disable the worker flight recorder "
+                             "(/debug/workers loses per-worker phase/"
+                             "progress and no postmortem bundles are "
+                             "written)")
     parser.add_argument("--verbose", action="store_true",
                         help="log at debug level (includes http.server "
                              "internals)")
@@ -125,6 +136,8 @@ def main(argv: list[str] | None = None) -> int:
         cache_capacity=args.cache_size,
         metrics=NULL_METRICS if args.no_metrics else None,
         logger=logger,
+        flight_recorder=False if args.no_flight_recorder else None,
+        stall_timeout=args.stall_timeout if args.stall_timeout > 0 else None,
     )
     server = build_server(
         service, args.host, args.port, verbose=args.verbose

@@ -24,6 +24,11 @@ GET    ``/metrics.json``        the same registry as a schema-versioned
 GET    ``/telemetry``           schema-versioned telemetry report
                                 (+ service block with cache hit/miss)
 GET    ``/trace``               Chrome trace-event JSON of the session
+GET    ``/debug/workers``       live flight-recorder view: per-worker
+                                phase/progress/rss, stall state, skew
+GET    ``/debug/postmortem``    postmortem bundle ids on disk
+GET    ``/debug/postmortem/<id>`` one postmortem bundle (rings, last
+                                barrier, partition map, tracebacks)
 POST   ``/shutdown``            202, then graceful drain and exit
 ====== ======================== ===========================================
 
@@ -60,6 +65,7 @@ _STATIC_ROUTES = frozenset(
     {
         "/", "/health", "/graph", "/jobs", "/telemetry", "/trace",
         "/metrics", "/metrics.json", "/shutdown",
+        "/debug/workers", "/debug/postmortem",
     }
 )
 
@@ -137,6 +143,9 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 return "/jobs/<id>"
             if len(parts) == 2 and parts[1] in ("result", "trace"):
                 return f"/jobs/<id>/{parts[1]}"
+        if path.startswith("/debug/postmortem/"):
+            if len(path.split("/")) == 4:
+                return "/debug/postmortem/<id>"
         return "<other>"
 
     def _handle(self, method: str, dispatch) -> None:
@@ -216,6 +225,22 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self._send_json(200, self.service.telemetry_report())
         elif path == "/trace":
             self._send_json(200, self.service.chrome_trace())
+        elif path == "/debug/workers":
+            self._send_json(200, self.service.debug_workers())
+        elif path == "/debug/postmortem":
+            self._send_json(
+                200, {"postmortems": self.service.postmortem_ids()}
+            )
+        elif path.startswith("/debug/postmortem/"):
+            parts = path.split("/")[3:]
+            if len(parts) != 1:
+                self._error(404, f"unknown path {self.path!r}")
+                return
+            bundle = self.service.postmortem(parts[0])
+            if bundle is None:
+                self._error(404, f"unknown postmortem {parts[0]!r}")
+            else:
+                self._send_json(200, bundle)
         elif path.startswith("/jobs/"):
             self._get_job(path)
         else:

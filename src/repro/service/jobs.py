@@ -45,6 +45,30 @@ JOB_STATES = ("submitted", "running", "done", "failed")
 #: Queue entry that tells a worker thread to exit.
 _STOP = None
 
+#: Bounded exception-type → reason mapping for the
+#: ``repro_jobs_failed_total{reason=...}`` label.  Matched by walking
+#: the exception's MRO by class *name* (so the engine's exception types
+#: classify without importing them here), falling back to ``"error"``
+#: — the label set can never grow beyond these values.
+_FAILURE_REASONS = {
+    "WorkerStallError": "stall",
+    "ShardedWriteRaceError": "write_race",
+    "ShardedWorkerError": "worker_crash",
+    "ValueError": "invalid_params",
+    "KeyError": "invalid_params",
+    "TimeoutError": "timeout",
+    "MemoryError": "oom",
+}
+
+
+def _failure_reason(exc: BaseException) -> str:
+    """Classify an exception into the bounded failure-reason label set."""
+    for klass in type(exc).__mro__:
+        reason = _FAILURE_REASONS.get(klass.__name__)
+        if reason is not None:
+            return reason
+    return "error"
+
 
 @dataclass
 class Job:
@@ -75,6 +99,17 @@ class Job:
     #: True when the result came from the cache without recompute.
     cached: bool = False
     error: str | None = None
+    #: Verbatim traceback text once ``status == "failed"`` — the full
+    #: ``traceback.format_exc()`` of the job thread, which for engine
+    #: failures embeds the shard worker's own traceback (the engine
+    #: propagates worker tracebacks verbatim in the exception message).
+    traceback: str | None = None
+    #: Bounded failure classification (see ``_FAILURE_REASONS``); also
+    #: the ``reason`` label on ``repro_jobs_failed_total``.
+    failure_reason: str | None = None
+    #: Flight-recorder postmortem bundle id for engine failures (fetch
+    #: via ``GET /debug/postmortem/<id>``), None otherwise.
+    postmortem_id: str | None = None
     #: JSON-safe result payload once ``status == "done"``.
     result: dict | None = None
     #: Telemetry-clock interval covering the job's execution, set by the
@@ -113,6 +148,9 @@ class Job:
             "run_seconds": self.run_seconds,
             "cached": self.cached,
             "error": self.error,
+            "failure_reason": self.failure_reason,
+            "traceback": self.traceback,
+            "postmortem_id": self.postmortem_id,
         }
         if include_result:
             out["result"] = self.result
@@ -268,6 +306,12 @@ class JobManager:
             "Jobs that reached a terminal state.",
             {"algorithm": job.algorithm, "status": job.status},
         ).inc()
+        if job.status == "failed":
+            self.metrics.counter(
+                "repro_jobs_failed_total",
+                "Jobs that failed, by bounded failure classification.",
+                {"reason": job.failure_reason or "error"},
+            ).inc()
         run = job.run_seconds
         if run is not None:
             self.metrics.histogram(
@@ -294,10 +338,15 @@ class JobManager:
             try:
                 result, cached = self._execute(job)
             except Exception as exc:
-                detail = traceback.format_exc(limit=8)
+                # Verbatim, unlimited: for engine failures this embeds
+                # the shard worker's own traceback text end to end.
+                detail = traceback.format_exc()
                 with self._lock:
                     job.status = "failed"
                     job.error = f"{type(exc).__name__}: {exc}"
+                    job.traceback = detail
+                    job.failure_reason = _failure_reason(exc)
+                    job.postmortem_id = getattr(exc, "postmortem_id", None)
                     job.result = {"traceback": detail}
                     job.finished_at = time.time()
                     job.finished_at_monotonic = time.monotonic()

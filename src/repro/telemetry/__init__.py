@@ -46,6 +46,17 @@ from repro.telemetry.export import (
     save_report,
     telemetry_report,
 )
+from repro.telemetry.flightrec import (
+    POSTMORTEM_FORMAT_VERSION,
+    FlightRecord,
+    FlightRecorder,
+    RingWriter,
+    StallWatchdog,
+    decode_ring,
+    list_postmortems,
+    load_postmortem,
+    read_beacons,
+)
 from repro.telemetry.logs import NULL_LOGGER, NullLogger, StructuredLogger
 from repro.telemetry.metrics import (
     METRICS_FORMAT_VERSION,
@@ -63,23 +74,32 @@ __all__ = [
     "NULL_LOGGER",
     "NULL_METRICS",
     "NULL_TELEMETRY",
+    "POSTMORTEM_FORMAT_VERSION",
     "REPORT_FORMAT_VERSION",
     "CounterSample",
+    "FlightRecord",
+    "FlightRecorder",
     "MetricsRegistry",
     "NullLogger",
     "NullMetricsRegistry",
     "NullTelemetry",
+    "RingWriter",
     "Span",
     "SpanCorrelation",
+    "StallWatchdog",
     "StructuredLogger",
     "Telemetry",
     "chrome_trace",
     "correlate",
+    "decode_ring",
     "format_measured_vs_modeled",
+    "list_postmortems",
+    "load_postmortem",
     "measured_vs_modeled",
     "memory_summary",
     "metrics_snapshot",
     "peak_rss_bytes",
+    "read_beacons",
     "render_prometheus",
     "save_chrome_trace",
     "save_report",

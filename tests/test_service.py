@@ -736,3 +736,87 @@ class TestGracefulShutdown:
         svc.close()
         svc.close()
         assert svc.engine.closed
+
+
+class TestFlightRecorderEndpoints:
+    """PR 10 surface: ``/debug/workers``, ``/debug/postmortem``, the
+    per-worker metric families, and failed-job forensics fields."""
+
+    def test_debug_workers_endpoint(self, client):
+        code, body = client.get("/debug/workers")
+        assert code == 200, body
+        assert body["flight_recorder"] is True  # default-on
+        assert body["stall_detected"] is False
+        assert body["partition_policy"]
+        rows = body["workers"]
+        assert [row["worker"] for row in rows] == [0, 1]
+        for row in rows:
+            assert row["alive"] is True
+            assert row["pid"]
+            assert row["phase"] in ("idle", "run", "scatter", "gather")
+            assert 0.0 <= row["progress_ratio"] <= 1.0
+
+    def test_debug_postmortem_listing_and_404(self, client):
+        code, body = client.get("/debug/postmortem")
+        assert code == 200
+        assert isinstance(body["postmortems"], list)
+        code, body = client.get("/debug/postmortem/pm-no-such-bundle")
+        assert code == 404
+        # Malformed ids (traversal attempts) are refused, not resolved.
+        code, body = client.get("/debug/postmortem/pm-..-escape")
+        assert code == 404
+
+    def test_worker_metric_families_in_exposition(self, client):
+        code, sub = client.post(
+            "/jobs", {"algorithm": "cc", "params": {}}
+        )
+        assert code == 202
+        assert client.wait(sub["job_id"])["status"] == "done"
+        _, _, text = client.get_raw("/metrics")
+        samples = assert_valid_exposition(text)
+        for family in (
+            "repro_worker_phase",
+            "repro_worker_progress_ratio",
+            "repro_superstep_skew_seconds",
+        ):
+            assert family in samples, f"{family} absent from /metrics"
+        # Phase gauges are one-hot per worker.
+        by_worker = {}
+        for labels, value in samples["repro_worker_phase"]:
+            by_worker.setdefault(labels["worker"], 0.0)
+            by_worker[labels["worker"]] += value
+        assert by_worker == {"0": 1.0, "1": 1.0}
+        ratios = dict(
+            (labels["worker"], value)
+            for labels, value in samples["repro_worker_progress_ratio"]
+        )
+        assert set(ratios) == {"0", "1"}
+        skew_count = [
+            value
+            for labels, value in samples["repro_superstep_skew_seconds"]
+            if labels.get("le") == "+Inf"
+        ]
+        assert skew_count and skew_count[0] >= 1.0
+
+    def test_failed_job_carries_traceback_and_reason(self):
+        directed = from_edge_list([(0, 1), (1, 2)], directed=True)
+        with GraphAnalyticsService(
+            directed, num_workers=1, job_threads=1, cache_capacity=4
+        ) as svc:
+            job = svc.submit("cc", {})
+            done = svc.jobs.wait(job.job_id)
+            assert done.status == "failed"
+            # Verbatim job-thread traceback, bounded reason label, and
+            # (no engine crash here) no postmortem pointer.
+            assert done.traceback and "Traceback" in done.traceback
+            assert "undirected" in done.traceback
+            assert done.failure_reason == "invalid_params"
+            assert done.postmortem_id is None
+            view = done.to_dict()
+            assert view["failure_reason"] == "invalid_params"
+            assert "undirected" in view["traceback"]
+            text = svc.metrics_text()
+            assert (
+                'repro_jobs_failed_total{reason="invalid_params"} 1'
+                in text
+            )

@@ -68,7 +68,25 @@ METRIC_FAMILIES = (
     "repro_engine_runs_total",
     "repro_engine_supersteps_total",
     "repro_service_up",
+    "repro_worker_phase",
+    "repro_worker_progress_ratio",
+    "repro_superstep_skew_seconds",
 )
+
+
+def check_debug_workers(base: str, expected_workers: int) -> None:
+    """Probe the flight-recorder debug endpoint (default-on recorder)."""
+    body = _request(base, "/debug/workers")
+    assert body["flight_recorder"] is True, body
+    assert body["stall_detected"] is False, body
+    rows = body["workers"]
+    assert len(rows) == expected_workers, rows
+    for row in rows:
+        assert row["alive"], row
+        assert row["phase"] in ("idle", "run", "scatter", "gather"), row
+    listing = _request(base, "/debug/postmortem")
+    assert isinstance(listing["postmortems"], list), listing
+    print(f"debug ok: {len(rows)} worker rows, postmortem listing serves")
 
 _SAMPLE_LINE = re.compile(
     r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
@@ -172,6 +190,7 @@ def main(argv: list[str] | None = None) -> int:
         assert cache["hits"] >= 1, f"no cache hit recorded: {cache}"
         print(f"cache ok: {cache['hits']} hit(s), {cache['misses']} miss(es)")
 
+        check_debug_workers(base, expected_workers=2)
         check_metrics(base)
 
         proc.send_signal(signal.SIGTERM)
